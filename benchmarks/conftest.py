@@ -1,0 +1,41 @@
+"""Shared state for the figure-regeneration benchmarks.
+
+All benchmarks share one session-scoped :class:`SuiteRunner`, so simulation
+runs are memoized across figures (Figure 14, 15 and 16 all reuse the same
+grid of runs).  Each benchmark prints the regenerated table — run with
+``pytest benchmarks/ --benchmark-only -s`` to see them — and records its
+headline numbers in ``benchmark.extra_info``.
+
+Set ``REPRO_BENCH_SUBSET=bfs,nw,...`` to restrict the benchmark set while
+iterating; the default regenerates every figure over the full 21-benchmark
+suite.
+"""
+
+import os
+
+import pytest
+
+from repro.harness import SuiteRunner
+from repro.workloads import workload_names
+
+
+def bench_names():
+    subset = os.environ.get("REPRO_BENCH_SUBSET")
+    if subset:
+        return [n.strip() for n in subset.split(",") if n.strip()]
+    return workload_names()
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return SuiteRunner()
+
+
+@pytest.fixture(scope="session")
+def names():
+    return bench_names()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

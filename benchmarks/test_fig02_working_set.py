@@ -1,0 +1,27 @@
+"""Figure 2: register working set per 100-cycle window, GTO vs two-level.
+
+Paper shape: for most applications the window working set is 10% or less of
+the baseline register file, and the two-level scheduler shrinks it further
+by concentrating accesses on the active pool.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig2_working_set, geomean
+from repro.harness.report import render_fig2
+
+
+def test_fig02_working_set(benchmark, runner, names):
+    data = run_once(benchmark, lambda: fig2_working_set(runner, names))
+    print()
+    print(render_fig2(data))
+
+    gto_kb = [g for g, _ in data.values()]
+    two_kb = [t for _, t in data.values()]
+    benchmark.extra_info["mean_gto_kb"] = sum(gto_kb) / len(gto_kb)
+    benchmark.extra_info["mean_two_level_kb"] = sum(two_kb) / len(two_kb)
+
+    # Working sets are a small fraction of the 256 KB per-SM register file.
+    assert max(gto_kb) < 256
+    # The two-level scheduler reduces the mean working set (paper Figure 2).
+    assert geomean(two_kb) <= geomean(gto_kb) * 1.05

@@ -1,0 +1,29 @@
+"""Figure 5: live registers per static instruction in particle_filter.
+
+Paper shape: liveness rises while wide expressions are computed and
+collapses at reductions — the low points are the natural region seams.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig5_liveness_seams
+from repro.harness.report import render_fig5
+
+
+def test_fig05_liveness_seams(benchmark, runner):
+    counts = run_once(benchmark, lambda: fig5_liveness_seams(runner))
+    print()
+    print(render_fig5(counts, width=50))
+
+    benchmark.extra_info["peak_live"] = max(counts)
+    benchmark.extra_info["min_live"] = min(counts)
+
+    # Clear peaks and seams exist (the sawtooth of the paper's figure).
+    assert max(counts) >= 2 * max(1, min(counts))
+    # There are multiple local minima (seams), not one monotone ramp.
+    dips = sum(
+        1
+        for i in range(1, len(counts) - 1)
+        if counts[i] < counts[i - 1] and counts[i] <= counts[i + 1]
+    )
+    assert dips >= 3

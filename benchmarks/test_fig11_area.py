@@ -1,0 +1,25 @@
+"""Figure 11: area of RegLess configurations, normalized to the baseline RF.
+
+Paper shape: area scales with capacity; the 512-entry design point is about
+0.3x of the 2048-entry register file, and a 2048-entry RegLess is slightly
+larger than the baseline (tags + compressor).
+"""
+
+from conftest import run_once
+
+from repro.harness import fig11_area
+from repro.harness.report import render_fig11
+
+
+def test_fig11_area(benchmark):
+    data = run_once(benchmark, fig11_area)
+    print()
+    print(render_fig11(data))
+
+    benchmark.extra_info["area_512"] = data[512]["total"]
+    benchmark.extra_info["area_2048"] = data[2048]["total"]
+
+    assert 0.25 < data[512]["total"] < 0.35
+    assert data[2048]["total"] > 1.0
+    totals = [data[c]["total"] for c in sorted(data)]
+    assert totals == sorted(totals)

@@ -1,0 +1,22 @@
+"""Figure 12: combined static + dynamic power vs OSU capacity.
+
+Paper shape: power tracks capacity; the 512-entry point draws roughly a
+third of the baseline register file's power.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig12_power
+from repro.harness.report import render_fig12
+
+
+def test_fig12_power(benchmark, runner):
+    data = run_once(benchmark, lambda: fig12_power(runner))
+    print()
+    print(render_fig12(data))
+
+    benchmark.extra_info["power_512"] = data[512]["total"]
+
+    totals = [data[c]["total"] for c in sorted(data)]
+    assert totals == sorted(totals)
+    assert 0.2 < data[512]["total"] < 0.5

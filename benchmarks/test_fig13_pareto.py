@@ -1,0 +1,35 @@
+"""Figure 13: run time vs GPU energy across OSU capacities.
+
+Paper shape: smaller capacities are Pareto-optimal for energy but hurt
+worst-case performance; 512 entries is the chosen tradeoff point with no
+average performance loss.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig13_pareto
+from repro.harness.report import render_fig13
+
+CAPACITIES = (128, 192, 256, 384, 512, 1024)
+
+
+def test_fig13_pareto(benchmark, runner, names):
+    data = run_once(
+        benchmark, lambda: fig13_pareto(runner, CAPACITIES, names)
+    )
+    print()
+    print(render_fig13(data))
+
+    for cap, (rt, en) in data.items():
+        benchmark.extra_info[f"runtime_{cap}"] = rt
+        benchmark.extra_info[f"energy_{cap}"] = en
+
+    # The Pareto knee: runtime flattens by the 512-entry design point...
+    assert data[512][0] < 1.1
+    # ...small capacities cost performance...
+    assert data[128][0] > data[512][0]
+    # ...and the energy optimum is interior (tiny OSUs run so much longer
+    # that static energy erases the capacity savings; Figure 13's frontier).
+    best_energy = min(en for _, en in data.values())
+    assert best_energy < data[1024][1]
+    assert data[512][1] <= data[1024][1]

@@ -1,0 +1,31 @@
+"""Figure 15: total GPU energy, including the "No RF" upper bound.
+
+Paper numbers: RegLess saves 11% of total GPU energy against a 16.7% upper
+bound; RFV saves 3.7% and RFH 2.9%.  Expected shape: RegLess saves the
+most and approaches the bound; all designs stay above it.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig15_gpu_energy
+from repro.harness.report import render_fig15
+
+
+def test_fig15_gpu_energy(benchmark, runner, names):
+    data = run_once(benchmark, lambda: fig15_gpu_energy(runner, names))
+    print()
+    print(render_fig15(data))
+
+    means = {
+        key: sum(row[key] for row in data.values()) / len(data)
+        for key in ("no_rf", "rfh", "rfv", "regless")
+    }
+    for key, v in means.items():
+        benchmark.extra_info[f"gpu_energy_{key}"] = v
+
+    # The No-RF bound is ~16.7% below baseline (paper Figure 15).
+    assert 0.78 < means["no_rf"] < 0.88
+    # RegLess saves the most total GPU energy and respects the bound.
+    assert means["no_rf"] <= means["regless"] < means["rfv"]
+    assert means["regless"] < means["rfh"]
+    assert means["regless"] < 0.93  # >7% total GPU savings

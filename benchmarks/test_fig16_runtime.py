@@ -1,0 +1,27 @@
+"""Figure 16: run time normalized to the baseline with a full register file.
+
+Paper shape: no average performance loss for RegLess-512 (geomean ~1.0)
+with a handful of benchmarks over 5% in either direction; removing the
+compressor costs performance; RFH/RFV pay for their two-level scheduler.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig16_runtime
+from repro.harness.report import render_fig16
+
+
+def test_fig16_runtime(benchmark, runner, names):
+    result = run_once(benchmark, lambda: fig16_runtime(runner, names))
+    print()
+    print(render_fig16(result))
+
+    benchmark.extra_info["geomean_regless"] = result.geomean_regless
+    benchmark.extra_info["geomean_no_compressor"] = result.geomean_no_compressor
+    benchmark.extra_info["geomean_rfv"] = result.geomean_rfv
+    benchmark.extra_info["geomean_rfh"] = result.geomean_rfh
+
+    # Headline claim: no average performance loss.
+    assert 0.93 < result.geomean_regless < 1.07
+    # The compressor never hurts on average.
+    assert result.geomean_no_compressor >= result.geomean_regless - 0.01

@@ -1,0 +1,28 @@
+"""Figure 17: where preloaded registers are found.
+
+Paper numbers: on average only 0.9% of preloads reach the L1 and 0.013%
+go to L2/DRAM; everything else is served by the OSU or the compressor.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig17_preload_location
+from repro.harness.report import render_fig17
+
+
+def test_fig17_preload_location(benchmark, runner, names):
+    data = run_once(benchmark, lambda: fig17_preload_location(runner, names))
+    print()
+    print(render_fig17(data))
+
+    mean = {
+        k: sum(row[k] for row in data.values()) / len(data)
+        for k in ("osu", "compressor", "l1", "l2dram")
+    }
+    for k, v in mean.items():
+        benchmark.extra_info[f"preload_{k}"] = v
+
+    # The overwhelming majority of preloads never touch the memory system.
+    assert mean["osu"] + mean["compressor"] > 0.85
+    assert mean["l1"] < 0.10
+    assert mean["l2dram"] < 0.05

@@ -1,0 +1,25 @@
+"""Figure 18: RegLess L1 requests per cycle (preloads/stores/invalidations).
+
+Paper shape: on average fewer than 0.02 of the single L1 request/cycle is
+consumed by RegLess; benchmarks with no OSU misses consume none.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig18_l1_bandwidth
+from repro.harness.report import render_fig18
+
+
+def test_fig18_l1_bandwidth(benchmark, runner, names):
+    data = run_once(benchmark, lambda: fig18_l1_bandwidth(runner, names))
+    print()
+    print(render_fig18(data))
+
+    totals = {n: sum(row.values()) for n, row in data.items()}
+    benchmark.extra_info["mean_req_per_cycle"] = sum(totals.values()) / len(totals)
+    benchmark.extra_info["max_req_per_cycle"] = max(totals.values())
+
+    # Far below the 1 request/cycle L1 limit on average.
+    assert sum(totals.values()) / len(totals) < 0.15
+    # Every benchmark leaves most of the L1 port to (bypassed) data.
+    assert max(totals.values()) < 0.8

@@ -1,0 +1,28 @@
+"""Figure 19: preloads vs concurrent live registers per region.
+
+Paper shape: concurrent live registers consistently exceed the number of
+preloads (each OSU entry is reused by several short-lived values), and
+region sizes vary substantially within each benchmark.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig19_region_registers
+from repro.harness.report import render_fig19
+
+
+def test_fig19_region_registers(benchmark, runner, names):
+    data = run_once(benchmark, lambda: fig19_region_registers(runner, names))
+    print()
+    print(render_fig19(data))
+
+    mean_pre = sum(r["preloads"] for r in data.values()) / len(data)
+    mean_live = sum(r["mean_live"] for r in data.values()) / len(data)
+    benchmark.extra_info["mean_preloads"] = mean_pre
+    benchmark.extra_info["mean_live"] = mean_live
+
+    # Live registers exceed preloads on average (interior reuse).
+    assert mean_live > mean_pre
+    # Register-heavy benchmarks reach 15+ concurrent live registers.
+    heavy = max(r["mean_live"] + 2 * r["std_live"] for r in data.values())
+    assert heavy > 12

@@ -1,0 +1,27 @@
+"""Table 2: average static instructions and dynamic cycles per region.
+
+Paper shape: compute-dense kernels (lud, nw, particle_filter) have the
+largest regions; memory/control-bound kernels (bfs, heartwall,
+streamcluster) the smallest; dynamic cycles per region vary by orders of
+magnitude across the suite.
+"""
+
+from conftest import run_once
+
+from repro.harness import table2_region_sizes
+from repro.harness.report import render_table2
+
+
+def test_table2_region_sizes(benchmark, runner, names):
+    data = run_once(benchmark, lambda: table2_region_sizes(runner, names))
+    print()
+    print(render_table2(data))
+
+    mean_insns = sum(r["insns"] for r in data.values()) / len(data)
+    benchmark.extra_info["mean_insns_per_region"] = mean_insns
+
+    assert 2.0 < mean_insns < 25.0
+    if "lud" in data and "bfs" in data:
+        assert data["lud"]["insns"] > data["bfs"]["insns"]
+    if "lud" in data and "heartwall" in data:
+        assert data["lud"]["insns"] > data["heartwall"]["insns"]

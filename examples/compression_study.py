@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Compression study: why simple patterns are enough.
+
+The RegLess compressor (paper section 5.3) matches evicted registers
+against a handful of fixed patterns: constants, stride-1/stride-4
+sequences.  This example shows, per benchmark, how register *values*
+decompose across those patterns at eviction time and what that does to
+preload traffic — including the dwt2d pathology the paper calls out
+(many live registers, few compressible).
+
+Run:  python examples/compression_study.py
+"""
+
+from repro.harness import SuiteRunner
+
+BENCHMARKS = ("hotspot", "pathfinder", "b+tree", "kmeans", "dwt2d")
+
+
+def main():
+    runner = SuiteRunner()
+    header = (f"{'benchmark':<12} {'evictions':>10} {'compressed':>11} "
+              f"{'const':>7} {'str1':>6} {'str4':>6} "
+              f"{'runtime on':>11} {'runtime off':>12}")
+    print(header)
+    print("-" * len(header))
+
+    for name in BENCHMARKS:
+        on = runner.run(name, "regless")
+        off = runner.run(name, "regless-nc")
+        base = runner.run(name, "baseline")
+        c = on.stats.counters
+        stores = c.get("compressor_store", 0.0)
+        incompressible = c.get("l1_evict_store", 0.0)
+        total = stores + incompressible
+        frac = stores / total if total else 0.0
+        print(f"{name:<12} {int(total):>10} {frac:>11.1%} "
+              f"{int(c.get('compress_constant', 0)):>7} "
+              f"{int(c.get('compress_stride1', 0)):>6} "
+              f"{int(c.get('compress_stride4', 0)):>6} "
+              f"{on.cycles / base.cycles:>11.3f} "
+              f"{off.cycles / base.cycles:>12.3f}")
+
+    print("\nCompressible benchmarks (hotspot, pathfinder) keep their cold")
+    print("registers in the compressor's small cache; dwt2d's random")
+    print("wavelet data defeats the patterns and round-trips the L1 —")
+    print("exactly the per-benchmark split the paper reports in Figure 17.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Full paper run: regenerate every table and figure into one report file.
+
+Equivalent to ``python -m repro.harness all`` plus claim validation and
+CSV export, bundled for a one-command artifact-evaluation style run.
+
+Run:  python examples/full_paper_run.py [report.txt]
+      (takes ~15-20 minutes for the full 21-benchmark grid)
+"""
+
+import sys
+import time
+
+from repro.harness import SuiteRunner, render_claims, validate_claims
+from repro.harness.cli import _RENDER, run_experiment
+from repro.harness.export import export_all
+
+
+def main():
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "paper_report.txt"
+    runner = SuiteRunner()
+    sections = []
+    t0 = time.time()
+
+    for target in sorted(_RENDER):
+        print(f"[{time.time() - t0:7.1f}s] regenerating {target} ...")
+        sections.append(run_experiment(target, runner))
+
+    print(f"[{time.time() - t0:7.1f}s] validating claims ...")
+    claims = validate_claims(runner)
+    sections.append(render_claims(claims))
+
+    print(f"[{time.time() - t0:7.1f}s] exporting CSVs ...")
+    paths = export_all("results", runner)
+
+    report = "\n\n".join(sections)
+    with open(out_path, "w") as fh:
+        fh.write(report + "\n")
+
+    print(f"\nwrote {out_path} and {len(paths)} CSV files under results/")
+    ok = sum(c.ok for c in claims)
+    print(f"claims: {ok}/{len(claims)} hold")
+    return 0 if ok == len(claims) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

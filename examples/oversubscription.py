@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Oversubscription: running more warps than the register file could hold.
+
+The paper's related-work section notes that RegLess "would be able to
+oversubscribe the register file without any design changes".  The win
+comes from kernels with *long-lived, rarely-touched* state: a conventional
+register file must statically allocate every architectural register for a
+warp's whole lifetime, so 70+ registers of per-thread context crush
+occupancy — even though the hot loop touches six of them.
+
+RegLess allocates staging capacity to *regions*: the context registers are
+produced once, evicted (they are compressible constants) to the
+compressor/L1, and the loop runs with tiny region footprints at full
+occupancy.
+
+Run:  python examples/oversubscription.py
+"""
+
+from repro.compiler import compile_kernel
+from repro.isa import KernelBuilder
+from repro.regfile import BaselineRF
+from repro.regless import ReglessStorage
+from repro.sim import GPUConfig, LoadBehavior, LoopExit, run_simulation
+from repro.workloads import Workload, compute_chain
+
+N_CONTEXT = 72  # long-lived per-thread context registers
+
+
+def build():
+    b = KernelBuilder("context_heavy")
+    b.block("entry")
+    tid, data = b.reg(0), b.reg(1)
+    # Prologue: materialize the per-thread context (filter coefficients,
+    # lookup constants...).  All of it stays live until the epilogue.
+    context = []
+    for k in range(N_CONTEXT):
+        c = b.fresh()
+        b.mov(c, 0x100 + 7 * k)
+        context.append(c)
+    ptr = b.fresh()
+    b.imad(ptr, tid, 4, data)
+    i = b.fresh()
+    b.mov(i, 0)
+    header, done = b.label(), b.label()
+    b.block_named(header)
+    p = b.fresh_pred()
+    b.setp(p, i, 0, tag="iters")
+    b.bra(done, pred=p)
+    b.block("body")
+    # Hot loop: touches a handful of context registers, streams data.
+    v = b.fresh()
+    b.ldg(v, ptr, tag="data")
+    t = b.fresh()
+    b.imad(t, v, 3, context[0])
+    t2 = b.fresh()
+    b.iadd(t2, t, context[1])
+    out = compute_chain(b, t2, 4, float_ops=True)
+    b.stg(ptr, out)
+    b.iadd(ptr, ptr, 1024)
+    b.iadd(i, i, 1)
+    b.bra(header)
+    b.block_named(done)
+    # Epilogue: fold the whole context into a checksum (keeps it live).
+    acc = context[0]
+    for c in context[1:]:
+        nxt = b.fresh()
+        b.iadd(nxt, acc, c)
+        acc = nxt
+    b.stg(data, acc)
+    b.exit()
+    return b.build()
+
+
+def main():
+    workload = Workload(
+        name="context_heavy",
+        build=build,
+        pred_behaviors={"iters": LoopExit(trips=32)},
+        load_behaviors={"data": LoadBehavior(uniform_frac=0.1, affine_frac=0.3)},
+    )
+    compiled = compile_kernel(workload.kernel())
+    regs = compiled.kernel.num_regs
+    config = GPUConfig()
+    rf_entries = 2048
+    print(f"kernel uses {regs} registers/warp after allocation "
+          f"({N_CONTEXT} of them long-lived context)")
+    print(f"baseline residency: ~{min(64, rf_entries // regs)}/64 warps")
+    loop_regions = compiled.regions_of_block("body")
+    mean_loop = sum(r.max_live for r in loop_regions) / len(loop_regions)
+    print(f"hot-loop region footprint: mean {mean_loop:.1f} registers\n")
+
+    baseline = run_simulation(config, compiled, workload,
+                              lambda sm, sh: BaselineRF(rf_entries))
+    regless = run_simulation(config, compiled, workload,
+                             lambda sm, sh: ReglessStorage(compiled))
+
+    print(f"baseline (static allocation): {baseline.cycles} cycles, "
+          f"IPC {baseline.ipc:.2f}")
+    print(f"regless  (region staging)   : {regless.cycles} cycles, "
+          f"IPC {regless.ipc:.2f}")
+    print(f"speedup from oversubscription: "
+          f"{baseline.cycles / regless.cycles:.2f}x")
+    frac = regless.counter("compressor_store") / max(
+        1, regless.counter("compressor_store") + regless.counter("l1_evict_store"))
+    print(f"(context evictions compressed: {frac:.0%} — constants cost "
+          f"8 bytes each in the compressor, not a 128-byte line)")
+
+
+if __name__ == "__main__":
+    main()

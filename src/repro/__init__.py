@@ -1,0 +1,43 @@
+"""RegLess: Just-in-Time Operand Staging for GPUs (MICRO 2017) — reproduction.
+
+Public API tour:
+
+* :mod:`repro.isa`      — the virtual GPU ISA and kernel builder.
+* :mod:`repro.compiler` — RegLess compilation: liveness, regions, annotations.
+* :mod:`repro.sim`      — the cycle-level GPU simulator.
+* :mod:`repro.regless`  — the RegLess hardware model (OSU, CM, compressor).
+* :mod:`repro.regfile`  — baseline / RFH / RFV operand-storage backends.
+* :mod:`repro.energy`   — energy, power and area models.
+* :mod:`repro.workloads`— the 21 synthetic Rodinia benchmarks.
+* :mod:`repro.harness`  — per-figure experiments (``python -m repro.harness``).
+
+Quick start::
+
+    from repro.compiler import compile_kernel
+    from repro.harness import SuiteRunner
+    from repro.workloads import make_workload
+
+    runner = SuiteRunner()
+    baseline = runner.run("hotspot", "baseline")
+    regless = runner.run("hotspot", "regless")
+    print(regless.cycles / baseline.cycles)
+"""
+
+__version__ = "1.0.0"
+
+from .compiler import CompiledKernel, compile_kernel
+from .harness import SuiteRunner
+from .sim import GPUConfig, run_simulation
+from .workloads import Workload, make_workload, workload_names
+
+__all__ = [
+    "CompiledKernel",
+    "compile_kernel",
+    "SuiteRunner",
+    "GPUConfig",
+    "run_simulation",
+    "Workload",
+    "make_workload",
+    "workload_names",
+    "__version__",
+]

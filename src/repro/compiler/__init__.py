@@ -1,0 +1,33 @@
+"""The RegLess compiler: liveness, region creation, annotations, metadata."""
+
+from .annotations import Preload, RegionAnnotations, annotate_regions
+from .domtree import DomTree, dominator_tree, postdominator_tree
+from .liveness import Liveness, analyze_liveness, find_soft_definitions
+from .metadata import MetadataWord, encode_region_metadata, metadata_overhead
+from .pipeline import CompiledKernel, compile_kernel
+from .regalloc import allocate_registers, build_interference
+from .regions import Region, RegionConfig, RegionStats, create_regions, region_stats
+
+__all__ = [
+    "Preload",
+    "RegionAnnotations",
+    "annotate_regions",
+    "DomTree",
+    "dominator_tree",
+    "postdominator_tree",
+    "Liveness",
+    "analyze_liveness",
+    "find_soft_definitions",
+    "MetadataWord",
+    "encode_region_metadata",
+    "metadata_overhead",
+    "CompiledKernel",
+    "compile_kernel",
+    "allocate_registers",
+    "build_interference",
+    "Region",
+    "RegionConfig",
+    "RegionStats",
+    "create_regions",
+    "region_stats",
+]

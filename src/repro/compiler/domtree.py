@@ -1,0 +1,174 @@
+"""Dominator and postdominator trees over kernel CFGs.
+
+Implements the Cooper–Harvey–Kennedy iterative algorithm ("A Simple, Fast
+Dominance Algorithm").  Postdominators are computed by running the same
+algorithm on the reversed CFG, with a virtual exit node when the kernel has
+several exit blocks.
+
+These trees back three consumers:
+
+* Algorithm 2 of the paper (soft-definition detection) needs dominator and
+  postdominator *sets*.
+* Cache-invalidation placement needs postdominators of definitions and death
+  points (paper section 4.4).
+* The simulator's SIMT reconvergence stack uses immediate postdominators of
+  divergent branches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+from ..isa.kernel import Kernel
+
+__all__ = ["DomTree", "dominator_tree", "postdominator_tree", "VIRTUAL_EXIT"]
+
+#: Label of the virtual exit node used when a kernel has multiple exits.
+VIRTUAL_EXIT = "<exit>"
+
+
+class DomTree:
+    """An (post)dominator tree over basic-block labels."""
+
+    def __init__(self, root: str, idom: Dict[str, Optional[str]]):
+        self.root = root
+        self._idom = idom
+        self._sets: Dict[str, FrozenSet[str]] = {}
+
+    def idom(self, label: str) -> Optional[str]:
+        """Immediate dominator of ``label`` (None for the root)."""
+        return self._idom.get(label)
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._idom
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._idom)
+
+    def dominators(self, label: str) -> FrozenSet[str]:
+        """All dominators of ``label``, including itself."""
+        cached = self._sets.get(label)
+        if cached is not None:
+            return cached
+        chain = []
+        node: Optional[str] = label
+        while node is not None:
+            chain.append(node)
+            if node == self.root:
+                break
+            node = self._idom[node]
+        result = frozenset(chain)
+        self._sets[label] = result
+        return result
+
+    def strict_dominators(self, label: str) -> FrozenSet[str]:
+        return self.dominators(label) - {label}
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True if ``a`` dominates ``b`` (reflexive)."""
+        return a in self.dominators(b)
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+
+def _reverse_postorder(
+    root: str, succs: Dict[str, List[str]]
+) -> List[str]:
+    """Reverse postorder of the graph reachable from ``root``."""
+    order: List[str] = []
+    visited = set()
+    # Iterative DFS with explicit stack so deep CFGs cannot overflow.
+    stack: List[tuple] = [(root, iter(succs.get(root, ())))]
+    visited.add(root)
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for nxt in it:
+            if nxt not in visited:
+                visited.add(nxt)
+                stack.append((nxt, iter(succs.get(nxt, ()))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def _compute_idoms(
+    root: str, succs: Dict[str, List[str]]
+) -> Dict[str, Optional[str]]:
+    """Cooper–Harvey–Kennedy dominators for the graph below ``root``."""
+    rpo = _reverse_postorder(root, succs)
+    index = {label: i for i, label in enumerate(rpo)}
+    preds: Dict[str, List[str]] = {label: [] for label in rpo}
+    for label in rpo:
+        for s in succs.get(label, ()):
+            if s in index:
+                preds[s].append(label)
+
+    idom: Dict[str, Optional[str]] = {root: root}
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for label in rpo:
+            if label == root:
+                continue
+            candidates = [p for p in preds[label] if p in idom]
+            if not candidates:
+                continue
+            new = candidates[0]
+            for p in candidates[1:]:
+                new = intersect(new, p)
+            if idom.get(label) != new:
+                idom[label] = new
+                changed = True
+
+    idom[root] = None
+    return idom
+
+
+def dominator_tree(kernel: Kernel) -> DomTree:
+    """Dominator tree rooted at the kernel entry block."""
+    succs = {b.label: kernel.successors(b.label) for b in kernel.blocks}
+    return DomTree(kernel.entry, _compute_idoms(kernel.entry, succs))
+
+
+def postdominator_tree(kernel: Kernel) -> DomTree:
+    """Postdominator tree, rooted at a (possibly virtual) exit node.
+
+    Blocks that cannot reach an exit (e.g. provably infinite loops) are
+    absent from the tree; callers treat them as having no postdominators.
+    """
+    exits = kernel.exit_labels
+    # Reversed CFG: edges from successor back to block.
+    rsuccs: Dict[str, List[str]] = {b.label: [] for b in kernel.blocks}
+    for b in kernel.blocks:
+        for s in kernel.successors(b.label):
+            rsuccs[s].append(b.label)
+
+    if len(exits) == 1:
+        root = exits[0]
+    else:
+        root = VIRTUAL_EXIT
+        rsuccs[root] = list(exits)
+
+    idom = _compute_idoms(root, rsuccs)
+    if root == VIRTUAL_EXIT:
+        # Splice out the virtual node: its children become roots of their
+        # own chains ending at VIRTUAL_EXIT; keep it so dominates() works,
+        # callers simply never ask about it.
+        pass
+    return DomTree(root, idom)

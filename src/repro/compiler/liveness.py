@@ -1,0 +1,228 @@
+"""Register liveness with GPU-divergence-aware *soft definitions*.
+
+Standard liveness assumes a write kills the previous value of a register.
+On a GPU that is wrong when a warp's threads have diverged: a write executed
+under divergent control (or under a predicate guard) only updates the active
+lanes, so the old value must stay live for the inactive lanes.  The paper
+calls such writes **soft definitions** (section 4.4, Algorithm 2).
+
+This module provides:
+
+* :func:`find_soft_definitions` — Algorithm 2 of the paper, which classifies
+  each (pc, reg) definition as soft or hard.  Predicate-guarded writes are
+  soft by construction (they never write all lanes in general).
+* :class:`Liveness` — per-block and per-PC live sets computed with soft
+  definitions excluded from the kill sets.
+
+Because Algorithm 2 itself consults liveness on CFG edges, the analysis
+iterates: it starts from the most conservative assumption (every guarded
+definition is soft), classifies, recomputes, and repeats to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..isa.kernel import Kernel
+from ..isa.registers import Reg
+from .domtree import DomTree, dominator_tree, postdominator_tree
+
+__all__ = ["Liveness", "analyze_liveness", "find_soft_definitions"]
+
+
+@dataclass
+class Liveness:
+    """Liveness facts for one kernel."""
+
+    kernel: Kernel
+    #: (pc, reg) pairs whose definitions are soft (do not kill).
+    soft_defs: FrozenSet[Tuple[int, Reg]]
+    live_in: Dict[str, FrozenSet[Reg]] = field(default_factory=dict)
+    live_out: Dict[str, FrozenSet[Reg]] = field(default_factory=dict)
+    #: live set immediately before each PC.
+    live_before: List[FrozenSet[Reg]] = field(default_factory=list)
+    #: live set immediately after each PC.
+    live_after: List[FrozenSet[Reg]] = field(default_factory=list)
+
+    def is_soft_def(self, pc: int, reg: Reg) -> bool:
+        return (pc, reg) in self.soft_defs
+
+    def live_on_edge(self, src: str, dst: str) -> FrozenSet[Reg]:
+        """Registers live along the CFG edge ``src -> dst``."""
+        if dst not in {s for s in self.kernel.successors(src)}:
+            raise ValueError(f"no CFG edge {src!r} -> {dst!r}")
+        return self.live_in[dst]
+
+    def max_live(self) -> int:
+        """Maximum number of simultaneously live registers at any PC."""
+        if not self.live_before:
+            return 0
+        return max(len(s) for s in self.live_before)
+
+    def live_counts(self) -> List[int]:
+        """Live-register count before each static instruction (Figure 5)."""
+        return [len(s) for s in self.live_before]
+
+    def death_map(self) -> Dict[int, Tuple[Reg, ...]]:
+        """Registers whose live range ends at each PC (used by the RFV
+        baseline to free physical registers)."""
+        deaths: Dict[int, Tuple[Reg, ...]] = {}
+        for pc, _, insn in self.kernel.iter_pcs():
+            alive = self.live_before[pc] | frozenset(insn.reg_dsts)
+            dying = alive - self.live_after[pc]
+            if dying:
+                deaths[pc] = tuple(sorted(dying))
+        return deaths
+
+
+def _kills(kernel: Kernel, soft: Set[Tuple[int, Reg]], pc: int) -> List[Reg]:
+    insn = kernel.insn_at(pc)
+    return [r for r in insn.reg_dsts if (pc, r) not in soft]
+
+
+def _dataflow(
+    kernel: Kernel, soft: Set[Tuple[int, Reg]]
+) -> Tuple[Dict[str, FrozenSet[Reg]], Dict[str, FrozenSet[Reg]]]:
+    """Backward may-liveness with the given soft-definition set."""
+    use: Dict[str, Set[Reg]] = {}
+    defs: Dict[str, Set[Reg]] = {}
+    for block in kernel.blocks:
+        u: Set[Reg] = set()
+        d: Set[Reg] = set()
+        for pc in kernel.pcs_of_block(block.label):
+            insn = kernel.insn_at(pc)
+            for r in insn.reg_srcs:
+                if r not in d:
+                    u.add(r)
+            for r in _kills(kernel, soft, pc):
+                d.add(r)
+        use[block.label] = u
+        defs[block.label] = d
+
+    live_in: Dict[str, Set[Reg]] = {b.label: set() for b in kernel.blocks}
+    live_out: Dict[str, Set[Reg]] = {b.label: set() for b in kernel.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(kernel.blocks):
+            lbl = block.label
+            out: Set[Reg] = set()
+            for s in kernel.successors(lbl):
+                out |= live_in[s]
+            inn = use[lbl] | (out - defs[lbl])
+            if out != live_out[lbl] or inn != live_in[lbl]:
+                live_out[lbl] = out
+                live_in[lbl] = inn
+                changed = True
+    return (
+        {k: frozenset(v) for k, v in live_in.items()},
+        {k: frozenset(v) for k, v in live_out.items()},
+    )
+
+
+def _per_pc(
+    kernel: Kernel,
+    soft: Set[Tuple[int, Reg]],
+    live_out: Dict[str, FrozenSet[Reg]],
+) -> Tuple[List[FrozenSet[Reg]], List[FrozenSet[Reg]]]:
+    n = kernel.num_instructions
+    before: List[FrozenSet[Reg]] = [frozenset()] * n
+    after: List[FrozenSet[Reg]] = [frozenset()] * n
+    for block in kernel.blocks:
+        live: Set[Reg] = set(live_out[block.label])
+        for pc in reversed(kernel.pcs_of_block(block.label)):
+            insn = kernel.insn_at(pc)
+            after[pc] = frozenset(live)
+            live -= set(_kills(kernel, soft, pc))
+            live |= set(insn.reg_srcs)
+            before[pc] = frozenset(live)
+    return before, after
+
+
+def find_soft_definitions(
+    kernel: Kernel,
+    live_in: Dict[str, FrozenSet[Reg]],
+    dom: DomTree,
+    pdom: DomTree,
+) -> Set[Tuple[int, Reg]]:
+    """Algorithm 2 (IsSoftDef) applied to every definition in the kernel.
+
+    A definition of ``reg`` in block B is soft when some strict dominator D
+    of B (with no reconvergence point between D and B) has a successor S on
+    a different control path (S does not dominate B) where ``reg`` is live —
+    i.e. another definition's value may flow to lanes not covered by this
+    write.  Predicate-guarded writes are soft unconditionally.
+    """
+    soft: Set[Tuple[int, Reg]] = set()
+    for pc, label, insn in kernel.iter_pcs():
+        for reg in insn.reg_dsts:
+            if insn.is_guarded:
+                soft.add((pc, reg))
+                continue
+            if _is_soft_def(kernel, live_in, dom, pdom, label, reg):
+                soft.add((pc, reg))
+    return soft
+
+
+def _is_soft_def(
+    kernel: Kernel,
+    live_in: Dict[str, FrozenSet[Reg]],
+    dom: DomTree,
+    pdom: DomTree,
+    insn_bb: str,
+    reg: Reg,
+) -> bool:
+    if insn_bb not in dom:
+        return False  # unreachable block
+    insn_doms = dom.dominators(insn_bb)
+    for dom_bb in dom.strict_dominators(insn_bb):
+        if dom_bb in pdom:
+            strict_pdoms = pdom.dominators(dom_bb) - {dom_bb}
+            # A reconvergence point between the dominator and the candidate
+            # means divergence at dom_bb has healed before the write.
+            if insn_doms & strict_pdoms:
+                continue
+        for successor in kernel.successors(dom_bb):
+            if successor in dom and dom.dominates(successor, insn_bb):
+                continue
+            if reg in live_in.get(successor, frozenset()):
+                return True
+    return False
+
+
+def analyze_liveness(kernel: Kernel, max_rounds: int = 4) -> Liveness:
+    """Full divergence-aware liveness analysis for a kernel.
+
+    Iterates dataflow and Algorithm 2 to a fixpoint: soft definitions
+    lengthen live ranges, which can expose further soft definitions.
+    """
+    dom = dominator_tree(kernel)
+    pdom = postdominator_tree(kernel)
+
+    # Round 0: only guards are soft.
+    soft: Set[Tuple[int, Reg]] = {
+        (pc, r)
+        for pc, _, insn in kernel.iter_pcs()
+        if insn.is_guarded
+        for r in insn.reg_dsts
+    }
+    live_in, live_out = _dataflow(kernel, soft)
+
+    for _ in range(max_rounds):
+        new_soft = find_soft_definitions(kernel, live_in, dom, pdom)
+        new_soft |= soft
+        if new_soft == soft:
+            break
+        soft = new_soft
+        live_in, live_out = _dataflow(kernel, soft)
+
+    before, after = _per_pc(kernel, soft, live_out)
+    return Liveness(
+        kernel=kernel,
+        soft_defs=frozenset(soft),
+        live_in=live_in,
+        live_out=live_out,
+        live_before=before,
+        live_after=after,
+    )

@@ -1,0 +1,87 @@
+"""Bit-level metadata encoding (paper section 5.4).
+
+Metadata rides in the instruction stream: with 10 of each 64 instruction
+bits used by the opcode, 54 bits per instruction remain for RegLess
+metadata.  This module packs a region's annotations into that budget and
+reports the number of metadata instruction slots consumed — the simulator
+charges these as extra fetch/issue work, and the energy model charges their
+fetch energy.
+
+Layout (one choice consistent with the paper's counts):
+
+* **Region-start flag instruction**: 8 banks x 4-bit usage (32 bits) +
+  up to 3 events of 7 bits (register id 6 bits + invalidate flag).
+* **Event instruction**: up to 3 more preload/invalidate events.
+* **Last-use marker**: 2 bits per operand slot (erase / evict flags) for
+  up to 9 instructions of 3 operands.
+* **Compact encoding** for small regions: 2 events + flags for up to 4
+  instructions in a single slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .annotations import RegionAnnotations
+
+__all__ = [
+    "MetadataWord",
+    "encode_region_metadata",
+    "METADATA_BITS_PER_INSN",
+    "BANK_USAGE_BITS",
+    "EVENT_BITS",
+]
+
+METADATA_BITS_PER_INSN = 54
+BANK_USAGE_BITS = 32  # 8 banks x 4 bits
+EVENT_BITS = 7  # 6-bit register id + invalidate flag
+LASTUSE_BITS_PER_INSN = 6  # 3 operand slots x (last-use bit + erase/evict bit)
+
+
+@dataclass(frozen=True)
+class MetadataWord:
+    """One encoded metadata instruction slot."""
+
+    kind: str  # "flag", "event", "lastuse", "compact"
+    bits_used: int
+
+    def __post_init__(self) -> None:
+        if self.bits_used > METADATA_BITS_PER_INSN:
+            raise ValueError(
+                f"metadata word overflows: {self.bits_used} bits "
+                f"> {METADATA_BITS_PER_INSN}"
+            )
+
+
+def encode_region_metadata(ann: RegionAnnotations, n_insns: int) -> List[MetadataWord]:
+    """Pack one region's annotations into metadata instruction slots."""
+    events = len(ann.preloads) + len(ann.cache_invalidates)
+
+    if n_insns <= 4 and events <= 2:
+        bits = events * EVENT_BITS + n_insns * LASTUSE_BITS_PER_INSN + 8
+        return [MetadataWord("compact", bits)]
+
+    words: List[MetadataWord] = []
+    first_events = min(events, 3)
+    words.append(
+        MetadataWord("flag", BANK_USAGE_BITS + first_events * EVENT_BITS)
+    )
+    remaining = events - first_events
+    while remaining > 0:
+        batch = min(remaining, 3)
+        words.append(MetadataWord("event", batch * EVENT_BITS))
+        remaining -= batch
+
+    insns_left = n_insns
+    while insns_left > 0:
+        batch = min(insns_left, 9)
+        words.append(MetadataWord("lastuse", batch * LASTUSE_BITS_PER_INSN))
+        insns_left -= batch
+    return words
+
+
+def metadata_overhead(ann: RegionAnnotations, n_insns: int) -> Tuple[int, int]:
+    """(instruction slots, total bits) of metadata for one region."""
+    words = encode_region_metadata(ann, n_insns)
+    return len(words), sum(w.bits_used for w in words)

@@ -1,0 +1,349 @@
+"""Region creation — Algorithm 1 of the paper (section 4.1–4.2).
+
+A *region* is a contiguous PC range inside one basic block, scheduled
+atomically by the RegLess hardware.  The compiler chooses region boundaries
+to (a) keep each region's register footprint within the operand staging
+unit's per-region and per-bank limits, (b) separate global loads from their
+first uses so warps never stall inside a region, and (c) cut at the points
+with the fewest live registers so that as few values as possible cross
+region boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..isa.kernel import Kernel
+from ..isa.registers import Reg
+from .liveness import Liveness
+
+__all__ = ["RegionConfig", "Region", "RegionStats", "create_regions", "region_stats"]
+
+
+@dataclass(frozen=True)
+class RegionConfig:
+    """Compiler-side limits mirroring the OSU hardware geometry."""
+
+    #: Number of OSU banks; registers map to bank ``reg.index % banks``
+    #: (rotated by warp id at run time, which preserves per-bank counts).
+    banks: int = 8
+    #: Cap on a region's concurrent register footprint, so one region cannot
+    #: monopolize the staging unit (IsValid line 18).
+    max_regs_per_region: int = 32
+    #: Cap on the footprint within any single bank (IsValid line 20).
+    max_regs_per_bank: int = 8
+    #: Minimum region length targeted by FindSplitPoint (paper: 48 bytes =
+    #: 6 eight-byte instructions).
+    min_region_insns: int = 6
+    #: Forbid a global load and its first use in the same region
+    #: (IsValid line 22).
+    split_load_use: bool = True
+    #: Ablation switch: when False, FindSplitPoint ignores liveness seams
+    #: and splits at the upper bound.
+    split_at_seams: bool = True
+
+    def bank_of(self, reg: Reg) -> int:
+        return reg.index % self.banks
+
+
+@dataclass(frozen=True)
+class RegionStats:
+    """Register-footprint statistics of a candidate PC range."""
+
+    inputs: FrozenSet[Reg]
+    outputs: FrozenSet[Reg]
+    interior: FrozenSet[Reg]
+    max_live: int
+    bank_usage: Tuple[int, ...]
+
+    @property
+    def boundary_regs(self) -> int:
+        return len(self.inputs) + len(self.outputs)
+
+    @property
+    def all_regs(self) -> FrozenSet[Reg]:
+        return self.inputs | self.outputs | self.interior
+
+
+@dataclass
+class Region:
+    """One compiled region: a PC range plus its register statistics."""
+
+    rid: int
+    block: str
+    start_pc: int
+    end_pc: int  # exclusive
+    stats: RegionStats = field(repr=False)
+
+    @property
+    def num_insns(self) -> int:
+        return self.end_pc - self.start_pc
+
+    @property
+    def inputs(self) -> FrozenSet[Reg]:
+        return self.stats.inputs
+
+    @property
+    def outputs(self) -> FrozenSet[Reg]:
+        return self.stats.outputs
+
+    @property
+    def interior(self) -> FrozenSet[Reg]:
+        return self.stats.interior
+
+    @property
+    def max_live(self) -> int:
+        return self.stats.max_live
+
+    @property
+    def bank_usage(self) -> Tuple[int, ...]:
+        return self.stats.bank_usage
+
+    def contains_pc(self, pc: int) -> bool:
+        return self.start_pc <= pc < self.end_pc
+
+    def __repr__(self) -> str:
+        return (
+            f"Region({self.rid}, {self.block}, pc=[{self.start_pc},"
+            f"{self.end_pc}), in={len(self.inputs)}, out={len(self.outputs)},"
+            f" interior={len(self.interior)}, max_live={self.max_live})"
+        )
+
+
+def region_stats(
+    kernel: Kernel,
+    liveness: Liveness,
+    start: int,
+    end: int,
+    config: RegionConfig,
+) -> RegionStats:
+    """Compute the register footprint of the PC range ``[start, end)``.
+
+    * ``inputs`` — registers whose value must be staged before the region
+      runs: live-in registers read in the region, plus registers with a soft
+      definition in the region (the unwritten lanes' old values must be
+      preserved — paper section 4.4).
+    * ``outputs`` — registers written in the region and live after it.
+    * ``interior`` — everything else referenced: whole lifetime inside.
+    * ``max_live`` / ``bank_usage`` — peak concurrent OSU footprint, total
+      and per bank, from a forward allocation scan (inputs are all staged at
+      entry; an entry is released after the register's last in-region use
+      unless it is an output, which stays until region end).
+    """
+    live_in_region = liveness.live_before[start] if start < end else frozenset()
+    reads: set = set()
+    defs: set = set()
+    soft_in_region: set = set()
+    last_use: Dict[Reg, int] = {}
+    for pc in range(start, end):
+        insn = kernel.insn_at(pc)
+        for r in insn.reg_srcs:
+            if r not in defs or r in live_in_region:
+                # Read of a value that may originate outside the region.
+                if r not in defs:
+                    reads.add(r)
+            last_use[r] = pc
+        for r in insn.reg_dsts:
+            defs.add(r)
+            last_use[r] = pc
+            if liveness.is_soft_def(pc, r):
+                soft_in_region.add(r)
+
+    inputs = frozenset((reads & live_in_region) | (soft_in_region & live_in_region))
+    live_after_region = liveness.live_after[end - 1] if end > start else frozenset()
+    outputs = frozenset(defs & live_after_region)
+    interior = frozenset((reads | defs) - inputs - outputs)
+
+    # Forward allocation scan for peak footprint.
+    allocated = set(inputs)
+    max_live = len(allocated)
+    bank_peak = [0] * config.banks
+    bank_count = [0] * config.banks
+    for r in allocated:
+        bank_count[config.bank_of(r)] += 1
+    for b in range(config.banks):
+        bank_peak[b] = bank_count[b]
+
+    def _release(reg: Reg) -> None:
+        allocated.discard(reg)
+        bank_count[config.bank_of(reg)] -= 1
+
+    def _acquire(reg: Reg) -> None:
+        if reg not in allocated:
+            allocated.add(reg)
+            b = config.bank_of(reg)
+            bank_count[b] += 1
+            bank_peak[b] = max(bank_peak[b], bank_count[b])
+
+    for pc in range(start, end):
+        insn = kernel.insn_at(pc)
+        for r in insn.reg_dsts:
+            _acquire(r)
+        max_live = max(max_live, len(allocated))
+        for r in set(insn.regs):
+            if last_use.get(r) == pc and r not in outputs:
+                _release(r)
+
+    return RegionStats(
+        inputs=inputs,
+        outputs=outputs,
+        interior=interior,
+        max_live=max_live,
+        bank_usage=tuple(bank_peak),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1
+# ---------------------------------------------------------------------------
+
+
+def _load_use_pairs(kernel: Kernel, start: int, end: int) -> List[Tuple[int, int]]:
+    """(load_pc, first_use_pc) pairs for global loads inside ``[start, end)``."""
+    pairs: List[Tuple[int, int]] = []
+    for pc in range(start, end):
+        insn = kernel.insn_at(pc)
+        if not insn.opcode.is_global_load:
+            continue
+        for dst in insn.reg_dsts:
+            for use_pc in range(pc + 1, end):
+                user = kernel.insn_at(use_pc)
+                if dst in user.reg_srcs:
+                    pairs.append((pc, use_pc))
+                    break
+                if dst in user.reg_dsts:
+                    break  # redefined before use
+    return pairs
+
+
+def _contains_multi_insn_barrier(kernel: Kernel, start: int, end: int) -> bool:
+    """True when the range holds a barrier plus other instructions.
+
+    A warp waiting at a barrier keeps its region's OSU reservation, so a
+    barrier must sit in its own (register-free) region or every warp of a
+    CTA would hold live capacity while waiting — a capacity deadlock.
+    """
+    if end - start <= 1:
+        return False
+    for pc in range(start, end):
+        if kernel.insn_at(pc).opcode.info.is_barrier:
+            return True
+    return False
+
+
+def _is_valid(
+    kernel: Kernel,
+    liveness: Liveness,
+    start: int,
+    end: int,
+    config: RegionConfig,
+) -> bool:
+    """IsValid from Algorithm 1 (plus the barrier-isolation rule)."""
+    stats = region_stats(kernel, liveness, start, end, config)
+    if stats.max_live > config.max_regs_per_region:
+        return False
+    if max(stats.bank_usage, default=0) > config.max_regs_per_bank:
+        return False
+    if config.split_load_use and _load_use_pairs(kernel, start, end):
+        return False
+    if _contains_multi_insn_barrier(kernel, start, end):
+        return False
+    return True
+
+
+def _find_split_point(
+    kernel: Kernel,
+    liveness: Liveness,
+    start: int,
+    end: int,
+    config: RegionConfig,
+) -> int:
+    """FindSplitPoint from Algorithm 1; returns the split PC.
+
+    The first region becomes ``[start, split)`` and the second
+    ``[split, end)``.
+    """
+    # upper bound: largest split such that the first region stays valid.
+    upper = start + 1
+    for split in range(start + 1, end):
+        if _is_valid(kernel, liveness, start, split, config):
+            upper = split
+        else:
+            break
+
+    # lower bound: the split that separates the most global loads from their
+    # first uses (minimizes load/use pairs left inside either new region).
+    lower = upper
+    if config.split_load_use:
+        pairs = _load_use_pairs(kernel, start, end)
+        if pairs:
+            best_cost: Optional[int] = None
+            for split in range(start + 1, upper + 1):
+                cost = sum(
+                    1 for ld, use in pairs if not (ld < split <= use)
+                )
+                if best_cost is None or cost < best_cost:
+                    best_cost = cost
+                    lower = split
+
+    lower = min(max(start + config.min_region_insns, lower), upper)
+
+    if not config.split_at_seams:
+        return upper
+
+    # choose the split in [lower, upper] producing the fewest combined
+    # input+output registers in the two new regions (the liveness "seam").
+    best_split = lower
+    best_boundary: Optional[int] = None
+    for split in range(lower, upper + 1):
+        first = region_stats(kernel, liveness, start, split, config)
+        second = region_stats(kernel, liveness, split, end, config)
+        boundary = first.boundary_regs + second.boundary_regs
+        if best_boundary is None or boundary < best_boundary:
+            best_boundary = boundary
+            best_split = split
+    return best_split
+
+
+def create_regions(
+    kernel: Kernel,
+    liveness: Liveness,
+    config: Optional[RegionConfig] = None,
+) -> List[Region]:
+    """CreateRegions from Algorithm 1.
+
+    Starts from one region per basic block and repeatedly splits invalid
+    regions.  The first region of each split is guaranteed valid; the second
+    re-enters the worklist.  Returned regions are sorted by start PC and
+    tile every instruction of the kernel exactly once.
+    """
+    config = config or RegionConfig()
+    worklist: List[Tuple[str, int, int]] = []
+    for block in kernel.blocks:
+        start = kernel.block_start_pc(block.label)
+        end = kernel.block_end_pc(block.label)
+        if end > start:
+            worklist.append((block.label, start, end))
+
+    accepted: List[Tuple[str, int, int]] = []
+    while worklist:
+        label, start, end = worklist.pop(0)
+        if _is_valid(kernel, liveness, start, end, config):
+            accepted.append((label, start, end))
+            continue
+        split = _find_split_point(kernel, liveness, start, end, config)
+        if split <= start or split >= end:
+            # Cannot split further (single oversized instruction footprint);
+            # accept as-is — the hardware handles it with a degraded limit.
+            accepted.append((label, start, end))
+            continue
+        accepted.append((label, start, split))
+        worklist.insert(0, (label, split, end))
+
+    accepted.sort(key=lambda t: t[1])
+    regions = []
+    for rid, (label, start, end) in enumerate(accepted):
+        stats = region_stats(kernel, liveness, start, end, config)
+        regions.append(Region(rid, label, start, end, stats))
+    return regions

@@ -1,0 +1,21 @@
+"""Energy, power and area models plus event counters."""
+
+from .accounting import Counters
+from .area import AreaBreakdown, AreaModel, OSU_CAPACITY_SWEEP
+from .model import (
+    BASELINE_RF_ENTRIES,
+    EnergyBreakdown,
+    EnergyModel,
+    EnergyParams,
+)
+
+__all__ = [
+    "Counters",
+    "AreaBreakdown",
+    "AreaModel",
+    "OSU_CAPACITY_SWEEP",
+    "BASELINE_RF_ENTRIES",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "EnergyParams",
+]

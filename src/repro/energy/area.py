@@ -1,0 +1,97 @@
+"""Area and power scaling of RegLess configurations (Figures 11 and 12).
+
+The paper synthesized each OSU capacity to a 28 nm netlist; area splits into
+storage (SRAM, linear in capacity), logic (tags, decoders, arbitration —
+slightly sublinear), and the fixed compressor.  The constants are calibrated
+to the normalized Figure 11 shape: a 2048-entry RegLess is ~1.05x the
+baseline RF area; the 512-entry design point is ~0.3x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from .model import BASELINE_RF_ENTRIES, EnergyParams
+
+__all__ = ["AreaModel", "AreaBreakdown", "OSU_CAPACITY_SWEEP"]
+
+#: the capacities evaluated in Figures 11-13.
+OSU_CAPACITY_SWEEP = (128, 192, 256, 384, 512, 1024, 2048)
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Normalized area of one RegLess configuration."""
+
+    storage: float
+    logic: float
+    compressor: float
+
+    @property
+    def total(self) -> float:
+        return self.storage + self.logic + self.compressor
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "storage": self.storage,
+            "logic": self.logic,
+            "compressor": self.compressor,
+            "total": self.total,
+        }
+
+
+class AreaModel:
+    """Analytic area/power scaling, normalized to the baseline RF."""
+
+    def __init__(
+        self,
+        storage_frac: float = 0.80,
+        logic_frac: float = 0.20,
+        logic_exponent: float = 0.7,
+        compressor_area: float = 0.02,
+    ):
+        self.storage_frac = storage_frac
+        self.logic_frac = logic_frac
+        self.logic_exponent = logic_exponent
+        self.compressor_area = compressor_area
+
+    def area(self, osu_entries: int) -> AreaBreakdown:
+        scale = osu_entries / BASELINE_RF_ENTRIES
+        return AreaBreakdown(
+            storage=self.storage_frac * scale,
+            logic=self.logic_frac * scale ** self.logic_exponent,
+            compressor=self.compressor_area,
+        )
+
+    def sweep(self, capacities: Sequence[int] = OSU_CAPACITY_SWEEP) -> Dict[int, AreaBreakdown]:
+        return {n: self.area(n) for n in capacities}
+
+    # -- Figure 12: combined static + average dynamic power -------------------------
+
+    def power(
+        self,
+        osu_entries: int,
+        accesses_per_cycle: float = 2.2,
+        params: EnergyParams = EnergyParams(),
+    ) -> Dict[str, float]:
+        """Normalized power of one configuration.
+
+        ``accesses_per_cycle`` is the average OSU read+write activity (the
+        paper drove the netlist with simulation traces; experiments pass the
+        measured value).  Normalization: the baseline RF at the same
+        activity is 1.0.
+        """
+        baseline = (
+            accesses_per_cycle * params.access_energy(BASELINE_RF_ENTRIES)
+            + params.static_power(BASELINE_RF_ENTRIES)
+        )
+        osu_dyn = accesses_per_cycle * params.access_energy(osu_entries)
+        osu_dyn += accesses_per_cycle * 0.5 * params.tag_access
+        osu_static = params.static_power(osu_entries) * 1.1
+        compressor = 0.02 * baseline + 0.1 * params.compressor_access
+        return {
+            "osu": (osu_dyn + osu_static) / baseline,
+            "compressor": compressor / baseline,
+            "total": (osu_dyn + osu_static + compressor) / baseline,
+        }

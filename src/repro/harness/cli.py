@@ -1,0 +1,108 @@
+"""Command-line entry point: ``python -m repro.harness <experiment>``.
+
+Examples::
+
+    python -m repro.harness fig16                 # run-time comparison
+    python -m repro.harness fig17 --names bfs nw  # subset of benchmarks
+    python -m repro.harness all                   # every experiment
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import experiments as ex
+from . import report
+from .runner import SuiteRunner
+from .export import export_all
+from .robustness import render_robustness, seed_robustness
+from .validate import render_claims, validate_claims
+
+__all__ = ["main"]
+
+_RENDER = {
+    "fig2": (ex.fig2_working_set, report.render_fig2),
+    "fig3": (ex.fig3_backing_store, report.render_fig3),
+    "fig5": (ex.fig5_liveness_seams, report.render_fig5),
+    "fig11": (None, None),  # special-cased: no runner needed
+    "fig12": (ex.fig12_power, report.render_fig12),
+    "fig13": (ex.fig13_pareto, report.render_fig13),
+    "fig14": (ex.fig14_rf_energy, report.render_fig14),
+    "fig15": (ex.fig15_gpu_energy, report.render_fig15),
+    "fig16": (ex.fig16_runtime, report.render_fig16),
+    "fig17": (ex.fig17_preload_location, report.render_fig17),
+    "fig18": (ex.fig18_l1_bandwidth, report.render_fig18),
+    "fig19": (ex.fig19_region_registers, report.render_fig19),
+    "table2": (ex.table2_region_sizes, report.render_table2),
+    "breakdown": (ex.energy_breakdown, report.render_breakdown),
+}
+
+_NAMED = ("fig2", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+          "table2", "breakdown")
+
+
+def run_experiment(name: str, runner: SuiteRunner,
+                   names: Optional[List[str]] = None) -> str:
+    if name == "fig11":
+        return report.render_fig11(ex.fig11_area())
+    fn, render = _RENDER[name]
+    if name in _NAMED:
+        return render(fn(runner, names))
+    return render(fn(runner))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the RegLess paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_RENDER) + ["all", "validate", "robustness", "export"],
+        help="which table/figure to regenerate ('validate' checks the "
+             "paper's claims)",
+    )
+    parser.add_argument(
+        "--names",
+        nargs="*",
+        default=None,
+        help="benchmark subset (default: all 21)",
+    )
+    parser.add_argument(
+        "--out",
+        default="results",
+        help="output directory for 'export' (default: results/)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("csv", "json"),
+        default="csv",
+        help="export format (default: csv)",
+    )
+    args = parser.parse_args(argv)
+
+    runner = SuiteRunner()
+    if args.experiment == "validate":
+        claims = validate_claims(runner, args.names)
+        print(render_claims(claims))
+        return 0 if all(c.ok for c in claims) else 1
+    if args.experiment == "robustness":
+        kwargs = {"names": args.names} if args.names else {}
+        print(render_robustness(seed_robustness(**kwargs)))
+        return 0
+    if args.experiment == "export":
+        paths = export_all(args.out, runner, args.names, fmt=args.format)
+        for path in paths:
+            print(f"wrote {path}")
+        return 0
+    targets = sorted(_RENDER) if args.experiment == "all" else [args.experiment]
+    for target in targets:
+        print(run_experiment(target, runner, args.names))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""Export experiment results to CSV / JSON for external plotting.
+
+The paper's figures are bar charts and scatter plots; this module flattens
+every experiment's result into rows so any plotting tool can regenerate
+them::
+
+    python -m repro.harness export --out results/
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from . import experiments as ex
+from .runner import SuiteRunner
+
+__all__ = ["rows_for", "to_csv", "to_json", "export_all", "EXPORTABLE"]
+
+Row = Dict[str, Union[str, float, int]]
+
+
+def _per_benchmark_rows(data: Mapping[str, Mapping[str, float]]) -> List[Row]:
+    rows: List[Row] = []
+    for benchmark, series in data.items():
+        row: Row = {"benchmark": benchmark}
+        row.update(series)
+        rows.append(row)
+    return rows
+
+
+def rows_for(experiment: str, runner: SuiteRunner,
+             names: Optional[Sequence[str]] = None) -> List[Row]:
+    """Flatten one experiment into a list of dict rows."""
+    if experiment == "fig2":
+        return [
+            {"benchmark": n, "gto_kb": g, "two_level_kb": t}
+            for n, (g, t) in ex.fig2_working_set(runner, names).items()
+        ]
+    if experiment == "fig3":
+        series = ex.fig3_backing_store(runner)
+        return [
+            {"window": i, "baseline": b, "rfh": h, "regless": r}
+            for i, (b, h, r) in enumerate(
+                zip(series.baseline, series.rfh, series.regless)
+            )
+        ]
+    if experiment == "fig5":
+        return [
+            {"pc": pc, "live": n}
+            for pc, n in enumerate(ex.fig5_liveness_seams(runner))
+        ]
+    if experiment == "fig11":
+        return [
+            {"capacity": cap, **values}
+            for cap, values in ex.fig11_area().items()
+        ]
+    if experiment == "fig12":
+        return [
+            {"capacity": cap, **values}
+            for cap, values in ex.fig12_power(runner).items()
+        ]
+    if experiment == "fig13":
+        return [
+            {"capacity": cap, "runtime": rt, "gpu_energy": en}
+            for cap, (rt, en) in ex.fig13_pareto(runner, names=names).items()
+        ]
+    if experiment == "fig14":
+        return _per_benchmark_rows(ex.fig14_rf_energy(runner, names))
+    if experiment == "fig15":
+        return _per_benchmark_rows(ex.fig15_gpu_energy(runner, names))
+    if experiment == "fig16":
+        result = ex.fig16_runtime(runner, names)
+        rows = [
+            {"benchmark": n, "regless_runtime": v}
+            for n, v in result.per_benchmark.items()
+        ]
+        rows.append({
+            "benchmark": "GEOMEAN",
+            "regless_runtime": result.geomean_regless,
+            "no_compressor": result.geomean_no_compressor,
+            "rfv": result.geomean_rfv,
+            "rfh": result.geomean_rfh,
+        })
+        return rows
+    if experiment == "fig17":
+        return _per_benchmark_rows(ex.fig17_preload_location(runner, names))
+    if experiment == "fig18":
+        return _per_benchmark_rows(ex.fig18_l1_bandwidth(runner, names))
+    if experiment == "fig19":
+        return _per_benchmark_rows(ex.fig19_region_registers(runner, names))
+    if experiment == "table2":
+        return _per_benchmark_rows(ex.table2_region_sizes(runner, names))
+    raise ValueError(f"unknown experiment {experiment!r}")
+
+
+EXPORTABLE = (
+    "fig2", "fig3", "fig5", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig16", "fig17", "fig18", "fig19", "table2",
+)
+
+
+def to_csv(rows: List[Row]) -> str:
+    if not rows:
+        return ""
+    fields: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fields:
+                fields.append(key)
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields, restval="")
+    writer.writeheader()
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def to_json(rows: List[Row]) -> str:
+    return json.dumps(rows, indent=2, sort_keys=True)
+
+
+def export_all(
+    out_dir: str,
+    runner: Optional[SuiteRunner] = None,
+    names: Optional[Sequence[str]] = None,
+    fmt: str = "csv",
+) -> List[str]:
+    """Write every experiment to ``out_dir``; returns the file paths."""
+    import os
+
+    runner = runner or SuiteRunner()
+    os.makedirs(out_dir, exist_ok=True)
+    written = []
+    for experiment in EXPORTABLE:
+        rows = rows_for(experiment, runner, names)
+        text = to_csv(rows) if fmt == "csv" else to_json(rows)
+        path = os.path.join(out_dir, f"{experiment}.{fmt}")
+        with open(path, "w") as fh:
+            fh.write(text)
+        written.append(path)
+    return written

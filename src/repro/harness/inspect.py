@@ -1,0 +1,117 @@
+"""Run inspection: sample RegLess warp states and OSU occupancy over time.
+
+The questions one asks when a RegLess run misbehaves are always the same:
+how many warps were ACTIVE / PRELOADING / DRAINING, how full were the
+reservations, how deep was the warp stack?  :class:`StateSampler` attaches
+to a GPU before ``run()`` and records those once per ``period`` cycles.
+
+    gpu = GPU(config, compiled, workload, factory)
+    sampler = StateSampler(period=100)
+    sampler.attach(gpu)
+    gpu.run()
+    print(sampler.render())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..regless.backend import ReglessStorage
+from ..regless.capacity import WarpState
+
+__all__ = ["StateSample", "StateSampler"]
+
+
+@dataclass(frozen=True)
+class StateSample:
+    """One snapshot across all RegLess shards of a GPU."""
+
+    cycle: int
+    #: warps per state (summed over shards).
+    states: Dict[str, int]
+    #: total reserved OSU entries / total capacity.
+    reserved: int
+    capacity: int
+    #: inactive warps waiting for activation.
+    stack_depth: int
+
+    @property
+    def occupancy(self) -> float:
+        return self.reserved / self.capacity if self.capacity else 0.0
+
+    def render(self) -> str:
+        parts = " ".join(f"{k}={v}" for k, v in sorted(self.states.items()))
+        return (
+            f"cycle {self.cycle:>7}: {parts}  "
+            f"reserved {self.reserved}/{self.capacity} "
+            f"({self.occupancy:.0%})  stack {self.stack_depth}"
+        )
+
+
+class StateSampler:
+    """Periodic sampler of RegLess capacity-manager state."""
+
+    def __init__(self, period: int = 100):
+        self.period = period
+        self.samples: List[StateSample] = []
+        self._attached = False
+
+    def attach(self, gpu) -> None:
+        if self._attached:
+            raise RuntimeError("sampler already attached")
+        storages = [
+            shard.storage
+            for sm in gpu.sms
+            for shard in sm.shards
+            if isinstance(shard.storage, ReglessStorage)
+        ]
+        if not storages:
+            raise ValueError("no RegLess shards to sample on this GPU")
+        self._attached = True
+        first_sm = gpu.sms[0]
+        orig_cycle = first_sm.cycle
+        period = self.period
+
+        def sampled_cycle():
+            if gpu.wheel.now % period == 0:
+                self.samples.append(self._snapshot(gpu.wheel.now, storages))
+            return orig_cycle()
+
+        first_sm.cycle = sampled_cycle
+
+    @staticmethod
+    def _snapshot(cycle: int, storages) -> StateSample:
+        states: Dict[str, int] = {s.value: 0 for s in WarpState}
+        reserved = 0
+        capacity = 0
+        stack_depth = 0
+        for storage in storages:
+            cm = storage.cm
+            for ctx in cm.ctx.values():
+                states[ctx.state.value] += 1
+            reserved += sum(cm.reserved)
+            capacity += sum(b.capacity for b in storage.osu.banks)
+            stack_depth += len(cm.stack)
+        return StateSample(
+            cycle=cycle,
+            states=states,
+            reserved=reserved,
+            capacity=capacity,
+            stack_depth=stack_depth,
+        )
+
+    # -- aggregate views ---------------------------------------------------------
+
+    def mean_state(self, state: str) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(s.states.get(state, 0) for s in self.samples) / len(
+            self.samples
+        )
+
+    def peak_occupancy(self) -> float:
+        return max((s.occupancy for s in self.samples), default=0.0)
+
+    def render(self, limit: int = 50) -> str:
+        return "\n".join(s.render() for s in self.samples[:limit])

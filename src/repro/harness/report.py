@@ -1,0 +1,186 @@
+"""Text rendering of experiment results (the rows the paper's plots show)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .experiments import BackingStoreSeries, RuntimeResult
+
+__all__ = [
+    "render_fig2",
+    "render_fig3",
+    "render_fig5",
+    "render_fig11",
+    "render_fig12",
+    "render_fig13",
+    "render_fig14",
+    "render_fig15",
+    "render_fig16",
+    "render_fig17",
+    "render_fig18",
+    "render_fig19",
+    "render_table2",
+    "render_breakdown",
+]
+
+
+def _table(header: Sequence[str], rows: List[Sequence[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row):
+        return "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def render_fig2(data: Dict[str, Tuple[float, float]]) -> str:
+    rows = [
+        (name, f"{gto:.1f}", f"{two:.1f}")
+        for name, (gto, two) in data.items()
+    ]
+    return "Figure 2: register working set per 100-cycle window (KB)\n" + _table(
+        ("benchmark", "GTO", "2-level"), rows
+    )
+
+
+def render_fig3(series: BackingStoreSeries, points: int = 20) -> str:
+    def head(xs):
+        return " ".join(f"{x:5.0f}" for x in xs[:points])
+    return (
+        "Figure 3: backing-store accesses per 100 cycles (hotspot)\n"
+        f"baseline: {head(series.baseline)}\n"
+        f"rfh     : {head(series.rfh)}\n"
+        f"regless : {head(series.regless)}"
+    )
+
+
+def render_fig5(counts: List[int], width: int = 60) -> str:
+    lines = ["Figure 5: live registers per static instruction (particle_filter)"]
+    peak = max(counts) if counts else 1
+    for pc, n in enumerate(counts[:width]):
+        bar = "#" * n
+        lines.append(f"{pc:4d} {n:3d} {bar}")
+    lines.append(f"(peak {peak}, {len(counts)} instructions total)")
+    return "\n".join(lines)
+
+
+def render_fig11(data: Dict[int, Dict[str, float]]) -> str:
+    rows = [
+        (
+            str(cap),
+            f"{d['logic']:.3f}",
+            f"{d['storage']:.3f}",
+            f"{d['compressor']:.3f}",
+            f"{d['total']:.3f}",
+        )
+        for cap, d in data.items()
+    ]
+    return "Figure 11: area (normalized to 2048-entry baseline RF)\n" + _table(
+        ("capacity", "logic", "storage", "compressor", "total"), rows
+    )
+
+
+def render_fig12(data: Dict[int, Dict[str, float]]) -> str:
+    rows = [
+        (str(cap), f"{d['osu']:.3f}", f"{d['compressor']:.3f}", f"{d['total']:.3f}")
+        for cap, d in data.items()
+    ]
+    return "Figure 12: power (normalized to baseline RF)\n" + _table(
+        ("capacity", "OSU", "compressor", "total"), rows
+    )
+
+
+def render_fig13(data: Dict[int, Tuple[float, float]]) -> str:
+    rows = [
+        (str(cap), f"{rt:.3f}", f"{en:.3f}") for cap, (rt, en) in data.items()
+    ]
+    return "Figure 13: run time vs GPU energy (normalized geomeans)\n" + _table(
+        ("capacity", "run time", "GPU energy"), rows
+    )
+
+
+def _per_benchmark(data: Dict[str, Dict[str, float]], cols: Sequence[str],
+                   title: str, scale: float = 1.0, fmt: str = "{:.3f}") -> str:
+    rows = []
+    for name, row in data.items():
+        rows.append((name, *[fmt.format(row[c] * scale) for c in cols]))
+    if rows:
+        means = [
+            sum(data[n][c] for n in data) / len(data) for c in cols
+        ]
+        rows.append(("MEAN", *[fmt.format(m * scale) for m in means]))
+    return title + "\n" + _table(("benchmark", *cols), rows)
+
+
+def render_fig14(data: Dict[str, Dict[str, float]]) -> str:
+    return _per_benchmark(
+        data, ("rfh", "rfv", "regless"),
+        "Figure 14: RF energy normalized to baseline",
+    )
+
+
+def render_fig15(data: Dict[str, Dict[str, float]]) -> str:
+    return _per_benchmark(
+        data, ("no_rf", "rfh", "rfv", "regless"),
+        "Figure 15: total GPU energy normalized to baseline",
+    )
+
+
+def render_fig16(result: RuntimeResult) -> str:
+    rows = [(n, f"{v:.3f}") for n, v in result.per_benchmark.items()]
+    rows.append(("GEOMEAN", f"{result.geomean_regless:.3f}"))
+    table = _table(("benchmark", "regless/baseline"), rows)
+    return (
+        "Figure 16: run time normalized to baseline\n"
+        + table
+        + "\ngeomeans: regless "
+        + f"{result.geomean_regless:.3f}, no-compressor "
+        + f"{result.geomean_no_compressor:.3f}, rfv {result.geomean_rfv:.3f}, "
+        + f"rfh {result.geomean_rfh:.3f}"
+    )
+
+
+def render_fig17(data: Dict[str, Dict[str, float]]) -> str:
+    return _per_benchmark(
+        data, ("osu", "compressor", "l1", "l2dram"),
+        "Figure 17: preload service location (fraction of preloads)",
+        scale=100.0, fmt="{:.2f}%",
+    )
+
+
+def render_fig18(data: Dict[str, Dict[str, float]]) -> str:
+    return _per_benchmark(
+        data, ("preloads", "stores", "invalidations"),
+        "Figure 18: RegLess L1 requests per cycle",
+        fmt="{:.4f}",
+    )
+
+
+def render_fig19(data: Dict[str, Dict[str, float]]) -> str:
+    return _per_benchmark(
+        data, ("preloads", "mean_live", "std_live"),
+        "Figure 19: per-region registers (preloads / mean live / std live)",
+        fmt="{:.2f}",
+    )
+
+
+def render_breakdown(data: Dict[str, Dict[str, float]]) -> str:
+    rows = []
+    components = ("rf", "exec", "memory", "static", "metadata")
+    for backend, shares in data.items():
+        rows.append((backend, *[f"{shares.get(c, 0.0):.1%}" for c in components]))
+    return (
+        "Energy breakdown: mean component share of each design's own total\n"
+        + _table(("backend", *components), rows)
+    )
+
+
+def render_table2(data: Dict[str, Dict[str, float]]) -> str:
+    return _per_benchmark(
+        data, ("insns", "cycles"),
+        "Table 2: static instructions and dynamic cycles per region",
+        fmt="{:.1f}",
+    )

@@ -1,0 +1,161 @@
+"""Suite runner: execute (benchmark x backend x configuration) and memoize.
+
+Every evaluation figure draws on the same grid of simulation runs, so the
+runner caches results within a process.  Backends:
+
+* ``baseline`` — full 2048-entry RF, GTO scheduler.
+* ``rfh``      — register-file hierarchy, two-level scheduler (required by
+  the technique, and the source of its slowdown).
+* ``rfv``      — register-file virtualization, half-size physical RF.
+* ``regless``  — the paper's design (512 OSU entries by default).
+* ``regless-nc`` — RegLess without the compressor (Figure 16 ablation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..compiler.pipeline import CompiledKernel, compile_kernel
+from ..energy.model import EnergyBreakdown, EnergyModel
+from ..regfile import BaselineRF, RFHStorage, RFVStorage
+from ..regfile.base import OperandStorage
+from ..regless import ReglessConfig, ReglessStorage
+from ..sim.config import GPUConfig
+from ..sim.gpu import SimStats, run_simulation
+from ..workloads import Workload, make_workload
+
+__all__ = ["BACKENDS", "RunResult", "SuiteRunner"]
+
+BACKENDS = ("baseline", "rfh", "rfv", "regless")
+
+
+@dataclass
+class RunResult:
+    """One simulation run plus its energy accounting."""
+
+    benchmark: str
+    backend: str
+    osu_entries: int
+    stats: SimStats
+    compiled: CompiledKernel = field(repr=False)
+    energy: EnergyBreakdown = field(repr=False)
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def rf_energy(self) -> float:
+        return self.energy.rf
+
+    @property
+    def gpu_energy(self) -> float:
+        return self.energy.total
+
+
+class SuiteRunner:
+    """Runs and memoizes the benchmark/backend grid."""
+
+    def __init__(
+        self,
+        config: Optional[GPUConfig] = None,
+        energy_model: Optional[EnergyModel] = None,
+    ):
+        self.base_config = config or GPUConfig()
+        self.energy_model = energy_model or EnergyModel()
+        self._workloads: Dict[str, Workload] = {}
+        self._compiled: Dict[str, CompiledKernel] = {}
+        self._runs: Dict[Tuple, RunResult] = {}
+
+    # -- building blocks -------------------------------------------------------
+
+    def workload(self, name: str) -> Workload:
+        if name not in self._workloads:
+            self._workloads[name] = make_workload(name)
+        return self._workloads[name]
+
+    def compiled(self, name: str) -> CompiledKernel:
+        if name not in self._compiled:
+            self._compiled[name] = compile_kernel(self.workload(name).kernel())
+        return self._compiled[name]
+
+    def config_for(self, backend: str, **overrides) -> GPUConfig:
+        cfg = self.base_config
+        if backend in ("rfh", "rfv"):
+            # Both prior techniques are evaluated with the two-level warp
+            # scheduler they were designed around (paper section 6.4).
+            cfg = cfg.with_(scheduler="two_level")
+        if overrides:
+            cfg = cfg.with_(**overrides)
+        return cfg
+
+    def storage_factory(
+        self,
+        backend: str,
+        compiled: CompiledKernel,
+        osu_entries: int = 512,
+    ) -> Callable[[int, int], OperandStorage]:
+        if backend == "baseline":
+            return lambda sm, sh: BaselineRF()
+        if backend == "rfh":
+            return lambda sm, sh: RFHStorage(compiled)
+        if backend == "rfv":
+            return lambda sm, sh: RFVStorage(compiled)
+        if backend == "regless":
+            rcfg = ReglessConfig(osu_entries_per_sm=osu_entries)
+            return lambda sm, sh: ReglessStorage(compiled, rcfg)
+        if backend == "regless-nc":
+            rcfg = ReglessConfig(
+                osu_entries_per_sm=osu_entries, compressor_enabled=False
+            )
+            return lambda sm, sh: ReglessStorage(compiled, rcfg)
+        raise ValueError(f"unknown backend {backend!r}")
+
+    # -- main entry point ----------------------------------------------------------
+
+    def run(
+        self,
+        benchmark: str,
+        backend: str,
+        osu_entries: int = 512,
+        window_series: Tuple[str, ...] = (),
+        **config_overrides,
+    ) -> RunResult:
+        key = (
+            benchmark,
+            backend,
+            osu_entries,
+            tuple(window_series),
+            tuple(sorted(config_overrides.items())),
+        )
+        if key in self._runs:
+            return self._runs[key]
+
+        workload = self.workload(benchmark)
+        compiled = self.compiled(benchmark)
+        cfg = self.config_for(backend, **config_overrides)
+        factory = self.storage_factory(backend, compiled, osu_entries)
+        stats = run_simulation(
+            cfg, compiled, workload, factory, window_series=window_series
+        )
+        model_backend = "regless" if backend == "regless-nc" else backend
+        energy = self.energy_model.gpu_energy(
+            stats.counters, stats.cycles, model_backend, osu_entries=osu_entries
+        )
+        result = RunResult(
+            benchmark=benchmark,
+            backend=backend,
+            osu_entries=osu_entries,
+            stats=stats,
+            compiled=compiled,
+            energy=energy,
+        )
+        self._runs[key] = result
+        return result
+
+    def no_rf_energy(self, benchmark: str) -> float:
+        """The "No RF" upper bound (Figure 15): baseline timing with a
+        register file that consumes no energy."""
+        base = self.run(benchmark, "baseline")
+        return base.gpu_energy - base.rf_energy

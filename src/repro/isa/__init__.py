@@ -1,0 +1,39 @@
+"""Virtual GPU ISA: registers, opcodes, instructions, kernels, builder."""
+
+from .assembler import AssemblerError, assemble, disassemble
+from .builder import KernelBuilder
+from .instructions import Instruction, PredGuard
+from .kernel import BasicBlock, Kernel
+from .opcodes import FuncUnit, Opcode, OpInfo, OPCODE_INFO
+from .registers import Imm, Operand, Pred, Reg, REGISTER_BYTES, WARP_WIDTH
+from .validate import (
+    Diagnostic,
+    KernelValidationError,
+    check_kernel,
+    validate_kernel,
+)
+
+__all__ = [
+    "AssemblerError",
+    "assemble",
+    "disassemble",
+    "KernelBuilder",
+    "Instruction",
+    "PredGuard",
+    "BasicBlock",
+    "Kernel",
+    "FuncUnit",
+    "Opcode",
+    "OpInfo",
+    "OPCODE_INFO",
+    "Imm",
+    "Operand",
+    "Pred",
+    "Reg",
+    "REGISTER_BYTES",
+    "WARP_WIDTH",
+    "Diagnostic",
+    "KernelValidationError",
+    "check_kernel",
+    "validate_kernel",
+]

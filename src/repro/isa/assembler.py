@@ -1,0 +1,169 @@
+"""Text assembler / disassembler for the virtual ISA.
+
+The format is a thin, readable syntax over :class:`Instruction`::
+
+    .kernel saxpy
+    entry:
+        ldg   R2, R0
+        ffma  R4, R2, R3, R2
+        setp  P0, R4, #0
+        @P0 bra loop
+        exit
+    loop:
+        mov   R5, #1
+        exit
+
+* ``Rn`` — general register, ``Pn`` — predicate, ``#v`` — immediate.
+* A leading ``@Pn`` / ``@!Pn`` is a predicate guard.
+* For opcodes with destinations, destinations come first.
+* ``bra`` takes its target label as the final token.
+* ``;`` or ``//`` start a comment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .instructions import Instruction, PredGuard
+from .kernel import BasicBlock, Kernel
+from .opcodes import Opcode
+from .registers import Imm, Operand, Pred, Reg
+
+__all__ = ["assemble", "disassemble", "AssemblerError"]
+
+
+class AssemblerError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+_OPERAND_RE = re.compile(r"^(R\d+|P\d+|#-?\d+)$")
+
+# Number of destination operands per opcode, for parsing.
+_N_DSTS = {
+    Opcode.STG: 0,
+    Opcode.STS: 0,
+    Opcode.BRA: 0,
+    Opcode.BAR: 0,
+    Opcode.EXIT: 0,
+}
+
+
+def _n_dsts(opcode: Opcode) -> int:
+    return _N_DSTS.get(opcode, 1)
+
+
+def _parse_operand(text: str) -> Operand:
+    if not _OPERAND_RE.match(text):
+        raise AssemblerError(f"bad operand {text!r}")
+    if text.startswith("R"):
+        return Reg(int(text[1:]))
+    if text.startswith("P"):
+        return Pred(int(text[1:]))
+    return Imm(int(text[1:]))
+
+
+def _parse_line(line: str) -> Instruction:
+    guard: Optional[PredGuard] = None
+    tokens = line.split(None, 1)
+    if tokens[0].startswith("@"):
+        g = tokens[0][1:]
+        negate = g.startswith("!")
+        if negate:
+            g = g[1:]
+        if not g.startswith("P"):
+            raise AssemblerError(f"bad guard {tokens[0]!r}")
+        guard = PredGuard(Pred(int(g[1:])), negate)
+        if len(tokens) < 2:
+            raise AssemblerError(f"guard with no instruction: {line!r}")
+        line = tokens[1]
+        tokens = line.split(None, 1)
+
+    mnemonic = tokens[0].lower()
+    try:
+        opcode = Opcode(mnemonic)
+    except ValueError as exc:
+        raise AssemblerError(f"unknown opcode {mnemonic!r}") from exc
+
+    rest = tokens[1].strip() if len(tokens) > 1 else ""
+    if opcode.info.is_branch:
+        if not rest:
+            raise AssemblerError("bra requires a target label")
+        return Instruction(opcode, (), (), guard=guard, target=rest)
+
+    operands = [_parse_operand(t.strip()) for t in rest.split(",")] if rest else []
+    nd = _n_dsts(opcode)
+    if len(operands) < nd:
+        raise AssemblerError(f"{mnemonic} needs at least {nd} operand(s)")
+    dsts = tuple(operands[:nd])
+    srcs = tuple(operands[nd:])
+    return Instruction(opcode, dsts, srcs, guard=guard)
+
+
+def assemble(text: str, name: Optional[str] = None) -> Kernel:
+    """Parse assembly text into a :class:`Kernel`."""
+    kernel_name = name or "kernel"
+    blocks: List[Tuple[str, List[Instruction]]] = []
+    current: Optional[List[Instruction]] = None
+
+    for raw_line in text.splitlines():
+        line = raw_line.split(";")[0].split("//")[0].strip()
+        if not line:
+            continue
+        if line.startswith(".kernel"):
+            parts = line.split()
+            if len(parts) != 2:
+                raise AssemblerError(f"bad directive: {raw_line!r}")
+            kernel_name = parts[1]
+            continue
+        if line.endswith(":"):
+            label = line[:-1].strip()
+            if not label:
+                raise AssemblerError("empty label")
+            current = []
+            blocks.append((label, current))
+            continue
+        if current is None:
+            current = []
+            blocks.append(("entry", current))
+        if current and blocks:
+            # A control instruction ends a basic block; anything following
+            # it on the same label starts an implicit continuation block.
+            last = current[-1] if current else None
+            if last is not None and (
+                last.opcode.info.is_branch or last.opcode.info.is_exit
+            ):
+                current = []
+                blocks.append((f"{blocks[-1][0]}.cont{len(blocks)}", current))
+        current.append(_parse_line(line))
+
+    if not blocks:
+        raise AssemblerError("no instructions found")
+    return Kernel(kernel_name, [BasicBlock(lbl, insns) for lbl, insns in blocks])
+
+
+def _format_operand(op: Operand) -> str:
+    if isinstance(op, Imm):
+        return f"#{op.value}"
+    return repr(op)
+
+
+def disassemble(kernel: Kernel) -> str:
+    """Render a kernel back to assembly text; round-trips with assemble()."""
+    lines = [f".kernel {kernel.name}"]
+    for block in kernel.blocks:
+        lines.append(f"{block.label}:")
+        for insn in block.instructions:
+            parts = []
+            if insn.guard is not None:
+                bang = "!" if insn.guard.negate else ""
+                parts.append(f"@{bang}{insn.guard.pred}")
+            parts.append(insn.opcode.value)
+            if insn.target is not None:
+                parts.append(insn.target)
+            else:
+                ops = [_format_operand(o) for o in insn.dsts + insn.srcs]
+                if ops:
+                    parts.append(", ".join(ops))
+            lines.append("    " + " ".join(parts))
+    return "\n".join(lines) + "\n"

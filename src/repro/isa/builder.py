@@ -1,0 +1,251 @@
+"""Fluent builder for constructing kernels programmatically.
+
+All workload kernels in :mod:`repro.workloads` are written against this API::
+
+    b = KernelBuilder("saxpy")
+    b.block("entry")
+    x, y, a = b.fresh(3)
+    b.ldg(x, b.reg(0))
+    b.ldg(y, b.reg(1))
+    b.ffma(a, x, y, x)
+    b.stg(b.reg(1), a)
+    b.exit()
+    kernel = b.build()
+
+Blocks are laid out in the order they are opened; a block falls through to
+the next one unless terminated by an unconditional branch or ``EXIT``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .instructions import Instruction, PredGuard
+from .kernel import BasicBlock, Kernel
+from .opcodes import Opcode
+from .registers import Imm, Operand, Pred, Reg
+
+__all__ = ["KernelBuilder"]
+
+RegLike = Union[Reg, int]
+SrcLike = Union[Reg, Pred, Imm, int]
+
+
+def _as_reg(r: RegLike) -> Reg:
+    return r if isinstance(r, Reg) else Reg(r)
+
+
+def _as_src(s: SrcLike) -> Operand:
+    if isinstance(s, (Reg, Pred, Imm)):
+        return s
+    return Imm(s)
+
+
+class KernelBuilder:
+    """Incrementally assemble a :class:`~repro.isa.kernel.Kernel`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._blocks: List[Tuple[str, List[Instruction]]] = []
+        self._current: Optional[List[Instruction]] = None
+        self._next_reg = 0
+        self._next_pred = 0
+        self._next_label = 0
+
+    # -- structure -----------------------------------------------------------
+
+    def block(self, label: Optional[str] = None) -> str:
+        """Open a new basic block and make it current; returns its label."""
+        if label is None:
+            label = f"bb{self._next_label}"
+            self._next_label += 1
+        if any(lbl == label for lbl, _ in self._blocks):
+            raise ValueError(f"duplicate block label {label!r}")
+        insns: List[Instruction] = []
+        self._blocks.append((label, insns))
+        self._current = insns
+        return label
+
+    def label(self) -> str:
+        """Reserve a fresh label without opening the block yet."""
+        label = f"bb{self._next_label}"
+        self._next_label += 1
+        return label
+
+    def block_named(self, label: str) -> str:
+        """Open a block with a label previously obtained from :meth:`label`."""
+        if any(lbl == label for lbl, _ in self._blocks):
+            raise ValueError(f"duplicate block label {label!r}")
+        insns: List[Instruction] = []
+        self._blocks.append((label, insns))
+        self._current = insns
+        return label
+
+    # -- operand allocation ----------------------------------------------------
+
+    def reg(self, index: int) -> Reg:
+        """A fixed architectural register (kernel-parameter style)."""
+        self._next_reg = max(self._next_reg, index + 1)
+        return Reg(index)
+
+    def fresh(self, n: int = 1) -> Union[Reg, Tuple[Reg, ...]]:
+        """Allocate ``n`` fresh registers."""
+        regs = tuple(Reg(self._next_reg + i) for i in range(n))
+        self._next_reg += n
+        if n == 1:
+            return regs[0]
+        return regs
+
+    def fresh_pred(self) -> Pred:
+        p = Pred(self._next_pred)
+        self._next_pred += 1
+        return p
+
+    # -- generic emission --------------------------------------------------------
+
+    def emit(
+        self,
+        opcode: Opcode,
+        dsts: Sequence[Union[Reg, Pred]] = (),
+        srcs: Sequence[SrcLike] = (),
+        guard: Optional[PredGuard] = None,
+        target: Optional[str] = None,
+        tag: Optional[str] = None,
+    ) -> Instruction:
+        if self._current is None:
+            raise RuntimeError("open a block before emitting instructions")
+        insn = Instruction(
+            opcode=opcode,
+            dsts=tuple(dsts),
+            srcs=tuple(_as_src(s) for s in srcs),
+            guard=guard,
+            target=target,
+            tag=tag,
+        )
+        self._current.append(insn)
+        return insn
+
+    def guard(self, pred: Pred, negate: bool = False) -> PredGuard:
+        return PredGuard(pred, negate)
+
+    # -- ALU helpers ---------------------------------------------------------------
+
+    def _alu3(self, op: Opcode, d: RegLike, a: SrcLike, c: SrcLike,
+              guard: Optional[PredGuard] = None) -> Instruction:
+        return self.emit(op, [_as_reg(d)], [a, c], guard=guard)
+
+    def iadd(self, d, a, c, guard=None):
+        return self._alu3(Opcode.IADD, d, a, c, guard)
+
+    def isub(self, d, a, c, guard=None):
+        return self._alu3(Opcode.ISUB, d, a, c, guard)
+
+    def imul(self, d, a, c, guard=None):
+        return self._alu3(Opcode.IMUL, d, a, c, guard)
+
+    def imad(self, d, a, b_, c, guard=None):
+        return self.emit(Opcode.IMAD, [_as_reg(d)], [a, b_, c], guard=guard)
+
+    def and_(self, d, a, c, guard=None):
+        return self._alu3(Opcode.AND, d, a, c, guard)
+
+    def or_(self, d, a, c, guard=None):
+        return self._alu3(Opcode.OR, d, a, c, guard)
+
+    def xor(self, d, a, c, guard=None):
+        return self._alu3(Opcode.XOR, d, a, c, guard)
+
+    def shl(self, d, a, c, guard=None):
+        return self._alu3(Opcode.SHL, d, a, c, guard)
+
+    def shr(self, d, a, c, guard=None):
+        return self._alu3(Opcode.SHR, d, a, c, guard)
+
+    def imin(self, d, a, c, guard=None):
+        return self._alu3(Opcode.IMIN, d, a, c, guard)
+
+    def imax(self, d, a, c, guard=None):
+        return self._alu3(Opcode.IMAX, d, a, c, guard)
+
+    def mov(self, d, a, guard=None):
+        return self.emit(Opcode.MOV, [_as_reg(d)], [a], guard=guard)
+
+    def sel(self, d, a, c, p, guard=None):
+        return self.emit(Opcode.SEL, [_as_reg(d)], [a, c, p], guard=guard)
+
+    def cvt(self, d, a, guard=None):
+        return self.emit(Opcode.CVT, [_as_reg(d)], [a], guard=guard)
+
+    def fadd(self, d, a, c, guard=None):
+        return self._alu3(Opcode.FADD, d, a, c, guard)
+
+    def fmul(self, d, a, c, guard=None):
+        return self._alu3(Opcode.FMUL, d, a, c, guard)
+
+    def ffma(self, d, a, b_, c, guard=None):
+        return self.emit(Opcode.FFMA, [_as_reg(d)], [a, b_, c], guard=guard)
+
+    def fmin(self, d, a, c, guard=None):
+        return self._alu3(Opcode.FMIN, d, a, c, guard)
+
+    def fmax(self, d, a, c, guard=None):
+        return self._alu3(Opcode.FMAX, d, a, c, guard)
+
+    def setp(self, p: Pred, a: SrcLike, c: SrcLike, guard=None,
+             tag: Optional[str] = None) -> Instruction:
+        return self.emit(Opcode.SETP, [p], [a, c], guard=guard, tag=tag)
+
+    # -- SFU helpers -------------------------------------------------------------------
+
+    def rcp(self, d, a, guard=None):
+        return self.emit(Opcode.RCP, [_as_reg(d)], [a], guard=guard)
+
+    def rsq(self, d, a, guard=None):
+        return self.emit(Opcode.RSQ, [_as_reg(d)], [a], guard=guard)
+
+    def sin(self, d, a, guard=None):
+        return self.emit(Opcode.SIN, [_as_reg(d)], [a], guard=guard)
+
+    def ex2(self, d, a, guard=None):
+        return self.emit(Opcode.EX2, [_as_reg(d)], [a], guard=guard)
+
+    def lg2(self, d, a, guard=None):
+        return self.emit(Opcode.LG2, [_as_reg(d)], [a], guard=guard)
+
+    def fdiv(self, d, a, c, guard=None):
+        return self._alu3(Opcode.FDIV, d, a, c, guard)
+
+    # -- memory helpers ------------------------------------------------------------------
+
+    def ldg(self, d, addr, guard=None, tag: Optional[str] = None):
+        """Global load: ``d = [addr]``."""
+        return self.emit(Opcode.LDG, [_as_reg(d)], [addr], guard=guard, tag=tag)
+
+    def stg(self, addr, value, guard=None):
+        """Global store: ``[addr] = value``."""
+        return self.emit(Opcode.STG, [], [addr, value], guard=guard)
+
+    def lds(self, d, addr, guard=None):
+        return self.emit(Opcode.LDS, [_as_reg(d)], [addr], guard=guard)
+
+    def sts(self, addr, value, guard=None):
+        return self.emit(Opcode.STS, [], [addr, value], guard=guard)
+
+    # -- control helpers ------------------------------------------------------------------
+
+    def bra(self, target: str, pred: Optional[Pred] = None,
+            negate: bool = False) -> Instruction:
+        guard = PredGuard(pred, negate) if pred is not None else None
+        return self.emit(Opcode.BRA, [], [], guard=guard, target=target)
+
+    def bar(self) -> Instruction:
+        return self.emit(Opcode.BAR)
+
+    def exit(self) -> Instruction:
+        return self.emit(Opcode.EXIT)
+
+    # -- finalization ------------------------------------------------------------------------
+
+    def build(self) -> Kernel:
+        blocks = [BasicBlock(lbl, insns) for lbl, insns in self._blocks]
+        return Kernel(self.name, blocks)

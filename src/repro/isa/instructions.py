@@ -1,0 +1,107 @@
+"""Instruction representation for the virtual GPU ISA.
+
+An :class:`Instruction` is a small immutable record: opcode, destination
+registers, source operands, an optional predicate guard, and an optional
+branch target label.  Helper accessors expose the register sets the compiler
+needs (reads / writes of general registers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .opcodes import Opcode
+from .registers import Imm, Operand, Pred, Reg
+
+__all__ = ["Instruction", "PredGuard"]
+
+
+@dataclass(frozen=True)
+class PredGuard:
+    """A predicate guard ``@P<i>`` or ``@!P<i>`` on an instruction."""
+
+    pred: Pred
+    negate: bool = False
+
+    def __repr__(self) -> str:
+        bang = "!" if self.negate else ""
+        return f"@{bang}{self.pred}"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    Attributes:
+        opcode: the operation.
+        dsts: destination registers (general or predicate).
+        srcs: source operands.
+        guard: optional predicate guard; a guarded instruction only writes
+            lanes where the guard holds, which makes its register writes
+            *soft definitions* for liveness purposes (paper section 4.4).
+        target: branch-target basic-block label (``BRA`` only).
+        tag: optional workload tag; the simulator's branch/value oracles are
+            keyed by it (e.g. a ``SETP`` tagged ``"loop"`` gets loop-trip
+            behaviour from the workload definition).
+    """
+
+    opcode: Opcode
+    dsts: Tuple[Operand, ...] = ()
+    srcs: Tuple[Operand, ...] = ()
+    guard: Optional[PredGuard] = None
+    target: Optional[str] = None
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.opcode.info.is_branch and self.target is None:
+            raise ValueError("BRA requires a target label")
+        if self.target is not None and not self.opcode.info.is_branch:
+            raise ValueError(f"{self.opcode} cannot carry a branch target")
+        for d in self.dsts:
+            if isinstance(d, Imm):
+                raise ValueError("immediate cannot be a destination")
+
+    # -- register accessors -------------------------------------------------
+
+    @property
+    def reg_dsts(self) -> Tuple[Reg, ...]:
+        """General registers written by this instruction."""
+        return tuple(d for d in self.dsts if isinstance(d, Reg))
+
+    @property
+    def reg_srcs(self) -> Tuple[Reg, ...]:
+        """General registers read by this instruction."""
+        return tuple(s for s in self.srcs if isinstance(s, Reg))
+
+    @property
+    def pred_dsts(self) -> Tuple[Pred, ...]:
+        return tuple(d for d in self.dsts if isinstance(d, Pred))
+
+    @property
+    def pred_srcs(self) -> Tuple[Pred, ...]:
+        preds = [s for s in self.srcs if isinstance(s, Pred)]
+        if self.guard is not None:
+            preds.append(self.guard.pred)
+        return tuple(preds)
+
+    @property
+    def regs(self) -> Tuple[Reg, ...]:
+        """All general registers referenced (reads then writes)."""
+        return self.reg_srcs + self.reg_dsts
+
+    @property
+    def is_guarded(self) -> bool:
+        return self.guard is not None
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.guard is not None:
+            parts.append(repr(self.guard))
+        parts.append(self.opcode.value)
+        ops = list(self.dsts) + list(self.srcs)
+        if ops:
+            parts.append(", ".join(repr(o) for o in ops))
+        if self.target is not None:
+            parts.append(f"-> {self.target}")
+        return " ".join(parts)

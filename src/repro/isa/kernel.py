@@ -1,0 +1,197 @@
+"""Kernels, basic blocks, and the control-flow graph.
+
+A :class:`Kernel` is an ordered list of :class:`BasicBlock`.  Control flow is
+implicit: a block falls through to the next block in order unless it ends in
+an unconditional branch or ``EXIT``; a (possibly guarded) ``BRA`` adds an
+edge to its target label.
+
+Every instruction also has a *global PC* — its index in the flattened
+instruction list — which is the coordinate system used by the region-creation
+compiler pass (regions are PC ranges inside one block) and by the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .instructions import Instruction
+from .opcodes import Opcode
+from .registers import Reg
+
+__all__ = ["BasicBlock", "Kernel"]
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line sequence of instructions."""
+
+    label: str
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    def _validate(self) -> None:
+        for i, insn in enumerate(self.instructions[:-1]):
+            info = insn.opcode.info
+            if info.is_branch or info.is_exit:
+                raise ValueError(
+                    f"block {self.label!r}: control instruction {insn!r} "
+                    f"at position {i} is not the terminator"
+                )
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        """The trailing control instruction, if any."""
+        if not self.instructions:
+            return None
+        last = self.instructions[-1]
+        info = last.opcode.info
+        if info.is_branch or info.is_exit:
+            return last
+        return None
+
+    @property
+    def falls_through(self) -> bool:
+        """True when control can reach the next block in layout order."""
+        term = self.terminator
+        if term is None:
+            return True
+        if term.opcode.info.is_exit:
+            return False
+        # A guarded branch is conditional: not-taken lanes fall through.
+        return term.is_guarded
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+
+class Kernel:
+    """A GPU kernel: ordered basic blocks plus derived CFG and PC views."""
+
+    def __init__(self, name: str, blocks: Sequence[BasicBlock]):
+        if not blocks:
+            raise ValueError("kernel needs at least one basic block")
+        labels = [b.label for b in blocks]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate block labels in kernel {name!r}")
+        self.name = name
+        self.blocks: List[BasicBlock] = list(blocks)
+        self._by_label: Dict[str, BasicBlock] = {b.label: b for b in blocks}
+        self._block_index: Dict[str, int] = {b.label: i for i, b in enumerate(blocks)}
+        self._check_targets()
+        self._build_pcs()
+        self._build_cfg()
+
+    # -- construction helpers ------------------------------------------------
+
+    def _check_targets(self) -> None:
+        for block in self.blocks:
+            term = block.terminator
+            if term is not None and term.target is not None:
+                if term.target not in self._by_label:
+                    raise ValueError(
+                        f"block {block.label!r} branches to unknown label "
+                        f"{term.target!r}"
+                    )
+
+    def _build_pcs(self) -> None:
+        self._flat: List[Tuple[str, Instruction]] = []
+        self._block_start_pc: Dict[str, int] = {}
+        for block in self.blocks:
+            self._block_start_pc[block.label] = len(self._flat)
+            for insn in block.instructions:
+                self._flat.append((block.label, insn))
+
+    def _build_cfg(self) -> None:
+        self._succs: Dict[str, List[str]] = {}
+        self._preds: Dict[str, List[str]] = {b.label: [] for b in self.blocks}
+        for i, block in enumerate(self.blocks):
+            succs: List[str] = []
+            term = block.terminator
+            if term is not None and term.target is not None:
+                succs.append(term.target)
+            if block.falls_through and i + 1 < len(self.blocks):
+                nxt = self.blocks[i + 1].label
+                if nxt not in succs:
+                    succs.append(nxt)
+            self._succs[block.label] = succs
+            for s in succs:
+                self._preds[s].append(block.label)
+
+    # -- block / label views --------------------------------------------------
+
+    @property
+    def entry(self) -> str:
+        return self.blocks[0].label
+
+    def block(self, label: str) -> BasicBlock:
+        return self._by_label[label]
+
+    def block_index(self, label: str) -> int:
+        return self._block_index[label]
+
+    def successors(self, label: str) -> List[str]:
+        return list(self._succs[label])
+
+    def predecessors(self, label: str) -> List[str]:
+        return list(self._preds[label])
+
+    @property
+    def exit_labels(self) -> List[str]:
+        return [b.label for b in self.blocks if not self._succs[b.label]]
+
+    # -- PC views --------------------------------------------------------------
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self._flat)
+
+    def insn_at(self, pc: int) -> Instruction:
+        return self._flat[pc][1]
+
+    def block_of_pc(self, pc: int) -> str:
+        return self._flat[pc][0]
+
+    def block_start_pc(self, label: str) -> int:
+        return self._block_start_pc[label]
+
+    def block_end_pc(self, label: str) -> int:
+        """One past the last PC of the block."""
+        return self._block_start_pc[label] + len(self._by_label[label])
+
+    def pcs_of_block(self, label: str) -> range:
+        return range(self.block_start_pc(label), self.block_end_pc(label))
+
+    def iter_pcs(self) -> Iterator[Tuple[int, str, Instruction]]:
+        for pc, (label, insn) in enumerate(self._flat):
+            yield pc, label, insn
+
+    # -- register statistics ----------------------------------------------------
+
+    @property
+    def registers(self) -> List[Reg]:
+        """All general registers referenced, sorted by index."""
+        seen = set()
+        for _, insn in self._flat:
+            seen.update(insn.regs)
+        return sorted(seen)
+
+    @property
+    def num_regs(self) -> int:
+        regs = self.registers
+        return (max(r.index for r in regs) + 1) if regs else 0
+
+    @property
+    def has_exit(self) -> bool:
+        return any(i.opcode is Opcode.EXIT for _, i in self._flat)
+
+    def __repr__(self) -> str:
+        return (
+            f"Kernel({self.name!r}, blocks={len(self.blocks)}, "
+            f"insns={self.num_instructions}, regs={self.num_regs})"
+        )

@@ -1,0 +1,141 @@
+"""Opcodes of the virtual GPU ISA.
+
+Each opcode carries static properties used by both the compiler and the
+timing simulator: which functional unit executes it, its result latency, and
+classification flags (load / store / branch / barrier / exit).
+
+The latency classes follow the usual GPGPU-sim-style split:
+
+* ``ALU``   — integer / single-precision ops, short fixed latency.
+* ``SFU``   — special-function ops (rsqrt, sin, exp), longer latency, fewer
+  units.
+* ``MEM``   — loads/stores; their latency is decided dynamically by the
+  memory hierarchy, the value here is only the minimum (hit) pipeline depth.
+* ``CTRL``  — branches, barriers, exit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["FuncUnit", "Opcode", "OPCODE_INFO", "OpInfo"]
+
+
+class FuncUnit(enum.Enum):
+    """Functional-unit class an opcode issues to."""
+
+    ALU = "alu"
+    SFU = "sfu"
+    MEM = "mem"
+    CTRL = "ctrl"
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one opcode."""
+
+    unit: FuncUnit
+    latency: int
+    is_load: bool = False
+    is_store: bool = False
+    is_branch: bool = False
+    is_barrier: bool = False
+    is_exit: bool = False
+
+
+class Opcode(enum.Enum):
+    """All opcodes of the virtual ISA."""
+
+    # Integer ALU
+    IADD = "iadd"
+    ISUB = "isub"
+    IMUL = "imul"
+    IMAD = "imad"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    IMIN = "imin"
+    IMAX = "imax"
+    MOV = "mov"
+    SEL = "sel"
+    CVT = "cvt"
+    # Float ALU
+    FADD = "fadd"
+    FMUL = "fmul"
+    FFMA = "ffma"
+    FMIN = "fmin"
+    FMAX = "fmax"
+    SETP = "setp"
+    # Special function unit
+    RCP = "rcp"
+    RSQ = "rsq"
+    SIN = "sin"
+    EX2 = "ex2"
+    LG2 = "lg2"
+    FDIV = "fdiv"
+    # Memory
+    LDG = "ldg"  # global load
+    STG = "stg"  # global store
+    LDS = "lds"  # shared-memory load
+    STS = "sts"  # shared-memory store
+    # Control
+    BRA = "bra"
+    BAR = "bar"
+    EXIT = "exit"
+
+    @property
+    def info(self) -> OpInfo:
+        return OPCODE_INFO[self]
+
+    @property
+    def is_global_load(self) -> bool:
+        return self is Opcode.LDG
+
+    @property
+    def is_memory(self) -> bool:
+        return self.info.unit is FuncUnit.MEM
+
+
+_ALU = FuncUnit.ALU
+_SFU = FuncUnit.SFU
+_MEM = FuncUnit.MEM
+_CTRL = FuncUnit.CTRL
+
+OPCODE_INFO: dict = {
+    Opcode.IADD: OpInfo(_ALU, 4),
+    Opcode.ISUB: OpInfo(_ALU, 4),
+    Opcode.IMUL: OpInfo(_ALU, 6),
+    Opcode.IMAD: OpInfo(_ALU, 6),
+    Opcode.AND: OpInfo(_ALU, 4),
+    Opcode.OR: OpInfo(_ALU, 4),
+    Opcode.XOR: OpInfo(_ALU, 4),
+    Opcode.SHL: OpInfo(_ALU, 4),
+    Opcode.SHR: OpInfo(_ALU, 4),
+    Opcode.IMIN: OpInfo(_ALU, 4),
+    Opcode.IMAX: OpInfo(_ALU, 4),
+    Opcode.MOV: OpInfo(_ALU, 2),
+    Opcode.SEL: OpInfo(_ALU, 4),
+    Opcode.CVT: OpInfo(_ALU, 4),
+    Opcode.FADD: OpInfo(_ALU, 4),
+    Opcode.FMUL: OpInfo(_ALU, 4),
+    Opcode.FFMA: OpInfo(_ALU, 6),
+    Opcode.FMIN: OpInfo(_ALU, 4),
+    Opcode.FMAX: OpInfo(_ALU, 4),
+    Opcode.SETP: OpInfo(_ALU, 4),
+    Opcode.RCP: OpInfo(_SFU, 16),
+    Opcode.RSQ: OpInfo(_SFU, 16),
+    Opcode.SIN: OpInfo(_SFU, 16),
+    Opcode.EX2: OpInfo(_SFU, 16),
+    Opcode.LG2: OpInfo(_SFU, 16),
+    Opcode.FDIV: OpInfo(_SFU, 24),
+    Opcode.LDG: OpInfo(_MEM, 2, is_load=True),
+    Opcode.STG: OpInfo(_MEM, 2, is_store=True),
+    Opcode.LDS: OpInfo(_MEM, 24, is_load=True),
+    Opcode.STS: OpInfo(_MEM, 2, is_store=True),
+    Opcode.BRA: OpInfo(_CTRL, 2, is_branch=True),
+    Opcode.BAR: OpInfo(_CTRL, 2, is_barrier=True),
+    Opcode.EXIT: OpInfo(_CTRL, 1, is_exit=True),
+}

@@ -1,0 +1,66 @@
+"""Operand kinds for the virtual GPU ISA.
+
+The ISA distinguishes three operand kinds:
+
+* :class:`Reg` — an architectural vector register.  Each register holds one
+  32-bit value per SIMD lane (32 lanes per warp), so one register occupies a
+  128-byte line in the register file / operand staging unit.
+* :class:`Pred` — a 1-bit-per-lane predicate register.  Predicates live in a
+  small dedicated structure and are *not* managed by RegLess (matching the
+  paper, which manages only the general register file).
+* :class:`Imm` — an immediate constant, uniform across lanes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+__all__ = ["Reg", "Pred", "Imm", "Operand", "WARP_WIDTH", "REGISTER_BYTES"]
+
+#: Number of SIMD lanes per warp (NVIDIA-style).
+WARP_WIDTH = 32
+
+#: Bytes occupied by one warp-register (32 lanes x 4 bytes).
+REGISTER_BYTES = WARP_WIDTH * 4
+
+
+@dataclass(frozen=True, order=True)
+class Reg:
+    """An architectural vector register ``R<index>``."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"register index must be >= 0, got {self.index}")
+
+    def __repr__(self) -> str:
+        return f"R{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class Pred:
+    """A predicate register ``P<index>`` (one bit per lane)."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"predicate index must be >= 0, got {self.index}")
+
+    def __repr__(self) -> str:
+        return f"P{self.index}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand, uniform across all lanes."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+Operand = Union[Reg, Pred, Imm]

@@ -1,0 +1,193 @@
+"""Kernel validation (lint) for hand-written kernels.
+
+The builder and assembler accept anything structurally well-formed; this
+pass catches the *semantic* mistakes that otherwise surface as confusing
+simulation behaviour:
+
+* reads of registers that are never written and not kernel inputs
+  (they silently read zero);
+* predicates used (as guards or branch conditions) before any ``SETP``
+  can have defined them on some path;
+* blocks unreachable from the entry;
+* warps that can fall off the end of the kernel (a path to the last
+  block without ``EXIT``);
+* loops with no exit edge (guaranteed hangs);
+* ``SETP`` instructions without a tag (their outcome falls back to the
+  oracle default, which is usually unintended in a workload).
+
+Use :func:`validate_kernel` for a report, or :func:`check_kernel` to
+raise on errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set
+
+from .kernel import Kernel
+from .opcodes import Opcode
+from .registers import Reg
+
+__all__ = ["Diagnostic", "validate_kernel", "check_kernel", "KernelValidationError"]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding."""
+
+    severity: str  # "error" | "warning"
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.severity}[{self.code}]: {self.message}"
+
+
+class KernelValidationError(ValueError):
+    """Raised by :func:`check_kernel` when errors are present."""
+
+    def __init__(self, diagnostics: Sequence[Diagnostic]):
+        self.diagnostics = list(diagnostics)
+        super().__init__(
+            "; ".join(d.render() for d in diagnostics if d.severity == "error")
+        )
+
+
+def _reachable(kernel: Kernel) -> Set[str]:
+    seen = {kernel.entry}
+    stack = [kernel.entry]
+    while stack:
+        label = stack.pop()
+        for succ in kernel.successors(label):
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+def _check_unreachable(kernel: Kernel, out: List[Diagnostic]) -> Set[str]:
+    reachable = _reachable(kernel)
+    for block in kernel.blocks:
+        if block.label not in reachable:
+            out.append(Diagnostic(
+                "warning", "unreachable-block",
+                f"block {block.label!r} cannot be reached from entry",
+            ))
+    return reachable
+
+
+def _check_exit_paths(kernel: Kernel, reachable: Set[str],
+                      out: List[Diagnostic]) -> None:
+    for label in kernel.exit_labels:
+        if label not in reachable:
+            continue
+        block = kernel.block(label)
+        term = block.terminator
+        if term is None or not term.opcode.info.is_exit:
+            out.append(Diagnostic(
+                "warning", "missing-exit",
+                f"block {label!r} ends the kernel without EXIT "
+                f"(warps fall off the end)",
+            ))
+
+
+def _check_infinite_loops(kernel: Kernel, reachable: Set[str],
+                          out: List[Diagnostic]) -> None:
+    """A strongly-connected set of blocks with no edge leaving it hangs."""
+    # Simple check: from each reachable block, can some exit block be
+    # reached?
+    exits = set(kernel.exit_labels)
+    can_exit: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for block in kernel.blocks:
+            label = block.label
+            if label in can_exit:
+                continue
+            succs = kernel.successors(label)
+            if label in exits or any(s in can_exit for s in succs):
+                can_exit.add(label)
+                changed = True
+    for label in reachable:
+        if label not in can_exit:
+            out.append(Diagnostic(
+                "error", "no-exit-path",
+                f"block {label!r} cannot reach any exit (infinite loop)",
+            ))
+
+
+def _check_dataflow(kernel: Kernel, reachable: Set[str],
+                    inputs: Set[Reg], out: List[Diagnostic]) -> None:
+    """Conservative may-read-before-write over reachable blocks."""
+    written: Set[int] = {r.index for r in inputs}
+    preds_set: Set[int] = set()
+    flagged_regs: Set[int] = set()
+    flagged_preds: Set[int] = set()
+    # Approximation: walk blocks in layout order (workload kernels define
+    # before use in layout order; back-edge-only definitions are rare and
+    # produce at worst a spurious warning).
+    for block in kernel.blocks:
+        if block.label not in reachable:
+            continue
+        for insn in block.instructions:
+            for r in insn.reg_srcs:
+                if r.index not in written and r.index not in flagged_regs:
+                    flagged_regs.add(r.index)
+                    out.append(Diagnostic(
+                        "warning", "read-before-write",
+                        f"R{r.index} may be read before any write "
+                        f"(reads 0; declare it an input via Reg({r.index}) "
+                        f"initialisation if intended)",
+                    ))
+            for p in insn.pred_srcs:
+                if p.index not in preds_set and p.index not in flagged_preds:
+                    flagged_preds.add(p.index)
+                    out.append(Diagnostic(
+                        "warning", "pred-before-setp",
+                        f"P{p.index} used before any SETP defines it",
+                    ))
+            for r in insn.reg_dsts:
+                written.add(r.index)
+            for p in insn.pred_dsts:
+                preds_set.add(p.index)
+
+
+def _check_untagged_setp(kernel: Kernel, out: List[Diagnostic]) -> None:
+    for pc, label, insn in kernel.iter_pcs():
+        if insn.opcode is Opcode.SETP and insn.tag is None:
+            out.append(Diagnostic(
+                "warning", "untagged-setp",
+                f"SETP at pc {pc} ({label}) has no tag; its outcome falls "
+                f"back to the oracle default",
+            ))
+
+
+def validate_kernel(
+    kernel: Kernel,
+    inputs: Sequence[Reg] = (Reg(0), Reg(1), Reg(2), Reg(3)),
+) -> List[Diagnostic]:
+    """Run all checks; returns diagnostics (possibly empty).
+
+    ``inputs`` are the registers initialized at launch (the default matches
+    :func:`repro.workloads.base.default_initial_regs`).
+    """
+    out: List[Diagnostic] = []
+    reachable = _check_unreachable(kernel, out)
+    _check_exit_paths(kernel, reachable, out)
+    _check_infinite_loops(kernel, reachable, out)
+    _check_dataflow(kernel, reachable, set(inputs), out)
+    _check_untagged_setp(kernel, out)
+    return out
+
+
+def check_kernel(kernel: Kernel,
+                 inputs: Sequence[Reg] = (Reg(0), Reg(1), Reg(2), Reg(3)),
+                 strict: bool = False) -> None:
+    """Raise :class:`KernelValidationError` on errors (or, with
+    ``strict=True``, on any diagnostic)."""
+    diagnostics = validate_kernel(kernel, inputs)
+    bad = [d for d in diagnostics
+           if d.severity == "error" or (strict and d.severity == "warning")]
+    if bad:
+        raise KernelValidationError(bad)

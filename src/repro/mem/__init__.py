@@ -1,0 +1,13 @@
+"""Memory hierarchy: caches, MSHRs, L1 register cache, L2 + DRAM."""
+
+from .cache import Eviction, MSHRFile, SetAssocCache
+from .hierarchy import MemoryHierarchy
+from .l1 import L1RegCache
+
+__all__ = [
+    "Eviction",
+    "MSHRFile",
+    "SetAssocCache",
+    "MemoryHierarchy",
+    "L1RegCache",
+]

@@ -1,0 +1,127 @@
+"""Set-associative cache state (tags only) with LRU replacement and MSHRs.
+
+This models cache *contents*; timing lives in :mod:`repro.mem.hierarchy`.
+Lines are identified by their line-aligned byte address.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SetAssocCache", "MSHRFile", "Eviction"]
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """A line pushed out of the cache by a fill."""
+
+    addr: int
+    dirty: bool
+
+
+class SetAssocCache:
+    """LRU set-associative tag array.
+
+    Each set is an ``OrderedDict`` mapping line address -> dirty flag, with
+    most-recently-used entries at the end.
+    """
+
+    def __init__(self, n_lines: int, assoc: int, line_bytes: int):
+        if n_lines % assoc != 0:
+            raise ValueError("n_lines must be a multiple of assoc")
+        self.n_lines = n_lines
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.n_sets = n_lines // assoc
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(self.n_sets)
+        ]
+
+    def _set_of(self, addr: int) -> "OrderedDict[int, bool]":
+        return self._sets[(addr // self.line_bytes) % self.n_sets]
+
+    def align(self, addr: int) -> int:
+        return addr - addr % self.line_bytes
+
+    def lookup(self, addr: int, touch: bool = True) -> bool:
+        """True when the line is present; optionally updates LRU order."""
+        addr = self.align(addr)
+        s = self._set_of(addr)
+        if addr not in s:
+            return False
+        if touch:
+            s.move_to_end(addr)
+        return True
+
+    def fill(self, addr: int, dirty: bool = False) -> Optional[Eviction]:
+        """Insert a line, returning the evicted victim if the set was full."""
+        addr = self.align(addr)
+        s = self._set_of(addr)
+        if addr in s:
+            s[addr] = s[addr] or dirty
+            s.move_to_end(addr)
+            return None
+        victim: Optional[Eviction] = None
+        if len(s) >= self.assoc:
+            v_addr, v_dirty = s.popitem(last=False)
+            victim = Eviction(v_addr, v_dirty)
+        s[addr] = dirty
+        return victim
+
+    def mark_dirty(self, addr: int) -> bool:
+        addr = self.align(addr)
+        s = self._set_of(addr)
+        if addr not in s:
+            return False
+        s[addr] = True
+        s.move_to_end(addr)
+        return True
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop a line without writing it back; True if it was present."""
+        addr = self.align(addr)
+        s = self._set_of(addr)
+        return s.pop(addr, None) is not None
+
+    def is_dirty(self, addr: int) -> bool:
+        addr = self.align(addr)
+        return self._set_of(addr).get(addr, False)
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+class MSHRFile:
+    """Miss-status holding registers: merge misses to the same line."""
+
+    def __init__(self, n_entries: int):
+        self.n_entries = n_entries
+        self._pending: Dict[int, List] = {}
+
+    def can_allocate(self, addr: int) -> bool:
+        return addr in self._pending or len(self._pending) < self.n_entries
+
+    def allocate(self, addr: int, callback) -> bool:
+        """Register a miss; returns True when this is the *primary* miss
+        (the caller must send the request downstream), False when merged."""
+        if addr in self._pending:
+            self._pending[addr].append(callback)
+            return False
+        if len(self._pending) >= self.n_entries:
+            raise RuntimeError("MSHR file full; call can_allocate first")
+        self._pending[addr] = [callback]
+        return True
+
+    def complete(self, addr: int) -> List:
+        """Resolve a miss, returning the callbacks to run."""
+        return self._pending.pop(addr, [])
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._pending

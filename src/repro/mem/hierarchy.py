@@ -1,0 +1,118 @@
+"""Shared L2 + DRAM timing model.
+
+Data accesses bypass the L1 (paper Table 1) and travel: per-SM interconnect
+queue -> L2 lookup -> (on miss) DRAM.  Bandwidth limits:
+
+* each SM may inject ``icnt_per_sm`` requests per cycle;
+* DRAM transfers ``dram_lines_per_cycle`` 128-byte lines per cycle
+  (224 GB/s at 1 GHz), modeled with a token bucket.
+
+Register traffic from the RegLess L1 (fills, write-backs) uses the same L2
+path, so registers and data contend for L2/DRAM bandwidth exactly as the
+paper worries about in section 2.3.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from ..energy.accounting import Counters
+from ..sim.config import GPUConfig
+from ..sim.events import EventWheel
+from .cache import SetAssocCache
+
+__all__ = ["MemoryHierarchy"]
+
+Callback = Optional[Callable[[], None]]
+
+
+class MemoryHierarchy:
+    """L2 cache + DRAM shared by all SMs."""
+
+    def __init__(self, config: GPUConfig, counters: Counters, wheel: EventWheel):
+        self.config = config
+        self.counters = counters
+        self.wheel = wheel
+        self.l2 = SetAssocCache(config.l2_lines, config.l2_assoc, config.line_bytes)
+        self._queues: Tuple[Deque, ...] = tuple(
+            deque() for _ in range(config.n_sms)
+        )
+        self._dram_tokens = 0.0
+        self._icnt_budget = [0.0] * config.n_sms
+
+    # -- request entry points -------------------------------------------------
+
+    def request(
+        self,
+        sm_id: int,
+        addr: int,
+        is_write: bool,
+        callback: Callback = None,
+        kind: str = "data",
+    ) -> None:
+        """Queue one line request from an SM (data or register traffic)."""
+        self._queues[sm_id].append((addr, is_write, callback, kind))
+        self.counters.inc(f"icnt_{kind}")
+
+    def pending_requests(self, sm_id: int) -> int:
+        return len(self._queues[sm_id])
+
+    @property
+    def busy(self) -> bool:
+        return any(self._queues)
+
+    # -- per-cycle pump -----------------------------------------------------------
+
+    def cycle(self) -> None:
+        self._dram_tokens = min(
+            self._dram_tokens + self.config.dram_lines_per_cycle, 8.0
+        )
+        for sm_id, queue in enumerate(self._queues):
+            self._icnt_budget[sm_id] = min(
+                self._icnt_budget[sm_id] + self.config.icnt_per_sm, 4.0
+            )
+            while queue and self._icnt_budget[sm_id] >= 1.0:
+                if not self._service(queue[0]):
+                    break  # head-of-line blocked on DRAM bandwidth
+                queue.popleft()
+                self._icnt_budget[sm_id] -= 1.0
+
+    def _service(self, request) -> bool:
+        addr, is_write, callback, kind = request
+        cfg = self.config
+        hit = self.l2.lookup(addr)
+        self.counters.inc("l2_access")
+        self.counters.inc(f"l2_{kind}_access")
+
+        if is_write:
+            # Posted full-line write: allocate dirty without fetching.
+            if not hit and self._dram_tokens < 1.0:
+                return False
+            victim = self.l2.fill(addr, dirty=True)
+            if victim is not None and victim.dirty:
+                self.counters.inc("dram_write")
+                self._dram_tokens -= 1.0
+            if callback is not None:
+                self.wheel.after(1, callback)
+            return True
+
+        if hit:
+            self.counters.inc("l2_hit")
+            if callback is not None:
+                self.wheel.after(cfg.l2_latency, callback)
+            return True
+
+        # Read miss: needs a DRAM transfer.
+        if self._dram_tokens < 1.0:
+            return False
+        self._dram_tokens -= 1.0
+        self.counters.inc("l2_miss")
+        self.counters.inc("dram_read")
+        self.counters.inc(f"dram_{kind}_read")
+        victim = self.l2.fill(addr, dirty=False)
+        if victim is not None and victim.dirty:
+            self.counters.inc("dram_write")
+        if callback is not None:
+            self.wheel.after(cfg.l2_latency + cfg.dram_latency, callback)
+        return True

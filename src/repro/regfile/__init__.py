@@ -1,0 +1,15 @@
+"""Operand-storage backends: baseline RF, RF hierarchy, RF virtualization."""
+
+from .base import OperandStorage
+from .baseline import BaselineRF
+from .rfh import LevelAssignment, RFHStorage, assign_levels
+from .rfv import RFVStorage
+
+__all__ = [
+    "OperandStorage",
+    "BaselineRF",
+    "LevelAssignment",
+    "RFHStorage",
+    "assign_levels",
+    "RFVStorage",
+]

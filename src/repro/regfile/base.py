@@ -1,0 +1,118 @@
+"""The operand-storage interface — the comparison axis of the paper (Fig. 1).
+
+Every register-storage design (baseline RF, RF hierarchy, RF virtualization,
+RegLess) implements :class:`OperandStorage`.  The shard consults it for warp
+*eligibility* before issuing (RegLess admits only warps whose region is
+staged), notifies it of issues and write-backs (where access energy is
+counted), and gives it a cycle hook for background work (preloads,
+evictions).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..isa.instructions import Instruction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.shard import Shard
+    from ..sim.warp import Warp
+
+__all__ = ["OperandStorage"]
+
+
+class OperandStorage:
+    """Base class; the default implementation is a no-op storage that never
+    blocks issue and counts nothing (useful for tests)."""
+
+    name = "null"
+
+    def __init__(self) -> None:
+        self.shard: Optional["Shard"] = None
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, shard: "Shard") -> None:
+        self.shard = shard
+
+    @property
+    def counters(self):
+        return self.shard.sm.counters
+
+    @property
+    def now(self) -> int:
+        return self.shard.sm.wheel.now
+
+    # -- issue-path hooks ----------------------------------------------------------
+
+    def can_issue(self, warp: "Warp", pc: int, insn: Instruction) -> bool:
+        """May this warp issue the instruction at ``pc`` this cycle?"""
+        return True
+
+    def on_issue(self, warp: "Warp", pc: int, insn: Instruction) -> None:
+        """Called right after an instruction issues (operand read time).
+        ``warp.pc`` has already advanced past control resolution."""
+
+    def metadata_slots(self, warp: "Warp", pc: int) -> int:
+        """Issue slots consumed by metadata instructions when ``pc`` issues
+        (RegLess charges its section 5.4 encoding here)."""
+        return 0
+
+    def on_writeback(self, warp: "Warp", pc: int, insn: Instruction) -> None:
+        """Called when an instruction's result is written back."""
+
+    def on_warp_exit(self, warp: "Warp") -> None:
+        """Called once when a warp executes EXIT."""
+
+    # -- background ------------------------------------------------------------------
+
+    def cycle(self) -> None:
+        """Per-cycle background work (preload queues, capacity manager)."""
+
+    @property
+    def idle(self) -> bool:
+        """True when the storage has no background work outstanding (used by
+        the simulator's fast-forward optimization)."""
+        return True
+
+    # -- end-of-run ---------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Flush any end-of-run accounting."""
+
+
+class CTAOccupancyMixin:
+    """Register-pressure occupancy gating for statically-allocated RFs.
+
+    The baseline register file (and RFH's main RF) holds every resident
+    warp's full register allocation, so only ``rf_entries / regs_per_warp``
+    warps fit per SM.  Residency is granted per CTA (barriers synchronize a
+    whole CTA, so admitting partial CTAs would deadlock); when a resident
+    CTA finishes, the next one launches.
+    """
+
+    def init_occupancy(self, shard, num_regs: int, rf_entries_per_sm: int) -> None:
+        cfg = shard.sm.config
+        per_shard_entries = rf_entries_per_sm // cfg.schedulers_per_sm
+        max_warps = per_shard_entries // max(1, num_regs)
+        cta = cfg.cta_size_warps
+        max_ctas = max(1, max_warps // cta)
+        ctas = sorted({w.cta_id for w in shard.warps})
+        self._cta_warps = {
+            c: [w for w in shard.warps if w.cta_id == c] for c in ctas
+        }
+        self._resident_ctas = set(ctas[:max_ctas])
+        self._pending_ctas = [c for c in ctas[max_ctas:]]
+
+    def is_resident(self, warp) -> bool:
+        return warp.cta_id in self._resident_ctas
+
+    def retire_warp(self, warp) -> None:
+        """Called on warp exit; admits the next CTA when one drains."""
+        cta = warp.cta_id
+        if cta not in self._resident_ctas:
+            return
+        if all(w.exited for w in self._cta_warps[cta]):
+            self._resident_ctas.discard(cta)
+            if self._pending_ctas:
+                self._resident_ctas.add(self._pending_ctas.pop(0))

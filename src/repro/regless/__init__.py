@@ -1,0 +1,22 @@
+"""The RegLess hardware model: OSU, capacity manager, compressor."""
+
+from .backend import ReglessStorage
+from .capacity import CapacityManager, WarpState
+from .compressor import Compressor, COMPRESS_PATTERNS, match_pattern
+from .config import ReglessConfig
+from .mapping import RegisterMapping, REGS_PER_COMPRESSED_LINE
+from .osu import Bank, OperandStagingUnit
+
+__all__ = [
+    "ReglessStorage",
+    "CapacityManager",
+    "WarpState",
+    "Compressor",
+    "COMPRESS_PATTERNS",
+    "match_pattern",
+    "ReglessConfig",
+    "RegisterMapping",
+    "REGS_PER_COMPRESSED_LINE",
+    "Bank",
+    "OperandStagingUnit",
+]

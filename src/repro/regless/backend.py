@@ -1,0 +1,150 @@
+"""RegLess as an :class:`~repro.regfile.base.OperandStorage` backend.
+
+One instance per shard wires together the capacity manager, the operand
+staging unit and the compressor (Figure 8), and translates the simulator's
+issue/write-back events into the compiler-annotation actions:
+
+* at issue: OSU reads for sources, entry reservation for destinations,
+  ``erase``/``evict`` annotations attached to last *reads*;
+* at write-back: OSU write (dirty), ``erase_on_write``/``evict_on_write``
+  annotations, drain-completion checks;
+* at region start: metadata instruction slots (section 5.4);
+* at EXIT: all the warp's entries are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..compiler.pipeline import CompiledKernel
+from ..isa.instructions import Instruction
+from ..regfile.base import OperandStorage
+from ..sim.values import LaneValues, ZERO
+from ..sim.warp import Warp
+from .capacity import CapacityManager, WarpState
+from .compressor import Compressor
+from .config import ReglessConfig
+from .mapping import RegisterMapping
+from .osu import OperandStagingUnit
+
+__all__ = ["ReglessStorage"]
+
+
+class ReglessStorage(OperandStorage):
+    """The RegLess operand-staging backend for one shard."""
+
+    name = "regless"
+
+    def __init__(self, compiled: CompiledKernel, config: Optional[ReglessConfig] = None):
+        super().__init__()
+        self.compiled = compiled
+        self.rcfg = config or ReglessConfig()
+        self.osu: Optional[OperandStagingUnit] = None
+        self.cm: Optional[CapacityManager] = None
+        self._warp_by_id: Dict[int, Warp] = {}
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, shard) -> None:
+        super().attach(shard)
+        sm = shard.sm
+        cfg = sm.config
+        self._warp_by_id = {w.wid: w for w in shard.warps}
+        mapping = RegisterMapping(
+            n_warps=cfg.warps_per_sm * cfg.n_sms,
+            n_regs=max(1, self.compiled.kernel.num_regs),
+            line_bytes=cfg.line_bytes,
+        )
+        compressor = Compressor(
+            sm.counters,
+            mapping,
+            cache_lines=self.rcfg.compressor_cache_lines,
+            enabled=self.rcfg.compressor_enabled,
+        )
+        self.osu = OperandStagingUnit(
+            self.rcfg,
+            sm.counters,
+            sm.wheel,
+            sm.l1,
+            compressor,
+            mapping,
+            value_of=self._value_of,
+            on_preload_done=self._on_preload_done,
+        )
+        self.cm = CapacityManager(
+            self.rcfg, self.compiled, sm.counters, self.osu, shard.warps
+        )
+
+    def _value_of(self, warp_id: int, reg: int) -> LaneValues:
+        warp = self._warp_by_id.get(warp_id)
+        if warp is None:
+            return ZERO
+        return warp.regs.get(reg, ZERO)
+
+    def _on_preload_done(self, warp_id: int, source: str) -> None:
+        assert self.cm is not None
+        self.cm.on_preload_done(warp_id, source)
+
+    # -- issue-path hooks ---------------------------------------------------------
+
+    def can_issue(self, warp: Warp, pc: int, insn: Instruction) -> bool:
+        assert self.cm is not None
+        return self.cm.can_issue(warp, pc)
+
+    def metadata_slots(self, warp: Warp, pc: int) -> int:
+        assert self.cm is not None
+        return self.cm.consume_metadata(warp, pc)
+
+    def on_issue(self, warp: Warp, pc: int, insn: Instruction) -> None:
+        assert self.osu is not None and self.cm is not None
+        osu = self.osu
+        wid = warp.wid
+        for r in insn.reg_srcs:
+            osu.read(wid, r.index)
+        for r in insn.reg_dsts:
+            osu.reserve_write(wid, r.index)
+
+        ann = self.compiled.annotations_of_pc(pc)
+        for r in ann.erase_at.get(pc, ()):
+            osu.erase(wid, r.index)
+        for r in ann.evict_at.get(pc, ()):
+            osu.mark_evictable(wid, r.index)
+
+        region = self.cm.active_region(wid)
+        if region is not None and pc == region.end_pc - 1 and not warp.exited:
+            self.cm.on_last_issue(warp, self.now)
+
+    def on_writeback(self, warp: Warp, pc: int, insn: Instruction) -> None:
+        assert self.osu is not None and self.cm is not None
+        osu = self.osu
+        wid = warp.wid
+        for r in insn.reg_dsts:
+            osu.complete_write(wid, r.index)
+        ann = self.compiled.annotations_of_pc(pc)
+        for r in ann.erase_on_write.get(pc, ()):
+            osu.erase(wid, r.index)
+        for r in ann.evict_on_write.get(pc, ()):
+            osu.mark_evictable(wid, r.index)
+        self.cm.on_writeback(warp, self.now)
+
+    def on_warp_exit(self, warp: Warp) -> None:
+        assert self.osu is not None and self.cm is not None
+        self.cm.on_warp_exit(warp, self.now)
+        self.osu.erase_warp(warp.wid, self.compiled.kernel.num_regs)
+
+    # -- background ------------------------------------------------------------------
+
+    def cycle(self) -> None:
+        assert self.osu is not None and self.cm is not None
+        self.cm.cycle(self.now)
+        self.osu.cycle()
+
+    @property
+    def idle(self) -> bool:
+        assert self.osu is not None and self.cm is not None
+        return self.osu.idle and self.cm.idle
+
+    def finalize(self) -> None:
+        assert self.cm is not None
+        self.counters.inc("region_cycles_total", self.cm.region_cycles_total)
+        self.counters.inc("region_executions", self.cm.region_executions)

@@ -1,0 +1,280 @@
+"""The capacity manager (paper section 5.1, Figure 9).
+
+One CM per shard.  It keeps a per-warp state machine —
+
+    INACTIVE -> PRELOADING -> ACTIVE -> DRAINING -> INACTIVE
+
+— a stack of inactive warps (top = most recently drained, whose registers
+are most likely still staged), and per-bank reservation counters.  Each
+cycle it tries to activate the top-of-stack warp: if every bank can fit the
+warp's next region (compiler bank-usage annotation, rotated by warp id), the
+CM reserves the capacity and queues the region's preloads and cache
+invalidations; once the OSU reports all preloads done the warp becomes
+ACTIVE and the (unmodified GTO) warp scheduler may issue from it.
+
+When a region issues its last instruction the warp DRAINs: remaining
+write-backs (e.g. a trailing global load) keep their entries until they
+land, then the reservation is released and the warp returns to the stack.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..compiler.pipeline import CompiledKernel
+from ..compiler.regions import Region
+from ..energy.accounting import Counters
+from ..sim.warp import Warp
+from .config import ReglessConfig
+from .osu import OperandStagingUnit
+
+__all__ = ["WarpState", "CapacityManager"]
+
+
+class WarpState(enum.Enum):
+    INACTIVE = "inactive"
+    PRELOADING = "preloading"
+    ACTIVE = "active"
+    DRAINING = "draining"
+    FINISHED = "finished"
+
+
+@dataclass
+class _WarpCtx:
+    state: WarpState = WarpState.INACTIVE
+    region: Optional[Region] = None
+    reserved: Optional[List[int]] = None  # per-bank reservation of `region`
+    preloads_left: int = 0
+    metadata_pending: int = 0
+    activated_at: int = 0
+    last_issue_done: bool = False
+    #: cycle at which the warp last became INACTIVE (for aging).
+    inactive_since: int = 0
+
+
+class CapacityManager:
+    """Admission control for one shard's warps."""
+
+    def __init__(
+        self,
+        config: ReglessConfig,
+        compiled: CompiledKernel,
+        counters: Counters,
+        osu: OperandStagingUnit,
+        warps: List[Warp],
+    ):
+        self.config = config
+        self.compiled = compiled
+        self.counters = counters
+        self.osu = osu
+        self.warps = {w.wid: w for w in warps}
+        self.ctx: Dict[int, _WarpCtx] = {w.wid: _WarpCtx() for w in warps}
+        #: inactive warps; activation candidates pop from the end (top).
+        self.stack: List[int] = [w.wid for w in reversed(warps)]
+        #: total reservation per bank across all active/preloading regions.
+        self.reserved: List[int] = [0] * config.banks_per_shard
+        self._stall_cycles = 0
+        # Dynamic region statistics (Table 2).
+        self.region_executions = 0
+        self.region_cycles_total = 0
+
+    # -- queries used by the storage backend -------------------------------------
+
+    def state_of(self, wid: int) -> WarpState:
+        return self.ctx[wid].state
+
+    def active_region(self, wid: int) -> Optional[Region]:
+        return self.ctx[wid].region
+
+    def can_issue(self, warp: Warp, pc: int) -> bool:
+        ctx = self.ctx[warp.wid]
+        return (
+            ctx.state is WarpState.ACTIVE
+            and ctx.region is not None
+            and ctx.region.contains_pc(pc)
+        )
+
+    def consume_metadata(self, warp: Warp, pc: int) -> int:
+        ctx = self.ctx[warp.wid]
+        if ctx.metadata_pending and ctx.region is not None and pc == ctx.region.start_pc:
+            slots = ctx.metadata_pending
+            ctx.metadata_pending = 0
+            return slots
+        return 0
+
+    @property
+    def idle(self) -> bool:
+        """No activation can be pending without an external event."""
+        return not any(
+            c.state is WarpState.PRELOADING for c in self.ctx.values()
+        )
+
+    # -- per-cycle admission -----------------------------------------------------------
+
+    def cycle(self, now: int) -> None:
+        if not self.stack:
+            return
+        wid = self._pick_candidate(now)
+        warp = self.warps[wid]
+        if warp.exited:
+            self._drop_from_stack(wid)
+            return
+        ctx = self.ctx[wid]
+        if ctx.state is not WarpState.INACTIVE:
+            self._drop_from_stack(wid)
+            return
+        # The SIMT stack may still hold popped-at-birth reconvergence
+        # entries (e.g. a fully-taken path landing on the reconvergence
+        # point); resolve them now so we stage the region the warp will
+        # actually execute.
+        warp.maybe_reconverge()
+        if warp.pc >= self.compiled.kernel.num_instructions:
+            return  # ran off the end; exit will be synthesized at issue
+
+        region = self.compiled.region_of_pc(warp.pc)
+        rotated = self.osu.rotate_usage(region.bank_usage, wid)
+        # A region whose footprint exceeds a whole bank can never be
+        # reserved normally; clamp to bank capacity (it then runs as that
+        # bank's sole user, overflowing into evictable lines).
+        for b, need in enumerate(rotated):
+            cap = self.osu.banks[b].capacity
+            if need > cap:
+                rotated[b] = cap
+                self.counters.inc("osu_clamped_reservation")
+        fits = self.osu.reservable(rotated, self.reserved)
+        emergency = False
+        if not fits:
+            self._stall_cycles += 1
+            if self._stall_cycles >= self.config.emergency_cycles:
+                emergency = True
+                self.counters.inc("osu_overflow_activation")
+            else:
+                return
+        self._stall_cycles = 0
+
+        # Reserve and start preloading.
+        for b, need in enumerate(rotated):
+            self.reserved[b] += need
+        ctx.state = WarpState.PRELOADING
+        ctx.region = region
+        ctx.reserved = rotated
+        ctx.activated_at = now
+        ctx.last_issue_done = False
+        ann = self.compiled.annotations[region.rid]
+        ctx.metadata_pending = ann.n_metadata_insns
+        ctx.preloads_left = len(ann.preloads)
+        self._drop_from_stack(wid)
+        if emergency:
+            self.counters.inc("osu_overflow")
+
+        for preload in ann.preloads:
+            self.osu.enqueue_preload(wid, preload.reg.index, preload.invalidate)
+        for reg in ann.cache_invalidates:
+            self.osu.enqueue_invalidate(wid, reg.index)
+
+        if ctx.preloads_left == 0:
+            self._activate(wid)
+
+    def _pick_candidate(self, now: int) -> int:
+        """Normally the stack top (most recently drained: its inputs are the
+        most likely to still be staged).  To prevent capacity starvation —
+        churning warps re-entering at the top can otherwise pin a blocked
+        warp at the bottom forever — the longest-waiting warp wins once its
+        wait exceeds the aging threshold."""
+        if not self.config.warp_stack_lifo:
+            return self.stack[0]
+        oldest = min(self.stack, key=lambda w: self.ctx[w].inactive_since)
+        wait = now - self.ctx[oldest].inactive_since
+        if wait > self.config.activation_aging_cycles:
+            return oldest
+        return self.stack[-1]
+
+    def _drop_from_stack(self, wid: int) -> None:
+        try:
+            self.stack.remove(wid)
+        except ValueError:
+            pass
+
+    def _activate(self, wid: int) -> None:
+        ctx = self.ctx[wid]
+        ctx.state = WarpState.ACTIVE
+        self.counters.inc("region_activations")
+
+    # -- OSU / shard callbacks ------------------------------------------------------------
+
+    def on_preload_done(self, wid: int, source: str) -> None:
+        ctx = self.ctx.get(wid)
+        if ctx is None or ctx.state is not WarpState.PRELOADING:
+            return
+        ctx.preloads_left -= 1
+        if ctx.preloads_left <= 0:
+            self._activate(wid)
+
+    def on_last_issue(self, warp: Warp, now: int) -> None:
+        """The region's final instruction issued: begin draining.
+
+        Capacity not needed for the still-pending write-backs is released
+        immediately — e.g. a region ending in a global load keeps only the
+        load's destination entry reserved while the value is in flight
+        (paper section 5.1)."""
+        ctx = self.ctx[warp.wid]
+        ctx.last_issue_done = True
+        ctx.state = WarpState.DRAINING
+        if warp.inflight == 0:
+            self._finish_region(warp, now)
+            return
+        self._release_all_but_pending(warp, ctx)
+
+    def _release_all_but_pending(self, warp: Warp, ctx: _WarpCtx) -> None:
+        if ctx.reserved is None:
+            return
+        banks = self.config.banks_per_shard
+        kept = [0] * banks
+        for reg_index in warp.pending_regs:
+            kept[(warp.wid + reg_index) % banks] += 1
+        for b in range(banks):
+            kept[b] = min(kept[b], ctx.reserved[b])
+            self.reserved[b] -= ctx.reserved[b] - kept[b]
+        ctx.reserved = kept
+
+    def on_writeback(self, warp: Warp, now: int) -> None:
+        ctx = self.ctx[warp.wid]
+        if ctx.state is WarpState.DRAINING and warp.inflight == 0:
+            self._finish_region(warp, now)
+
+    def _finish_region(self, warp: Warp, now: int) -> None:
+        ctx = self.ctx[warp.wid]
+        if ctx.reserved is not None:
+            for b, need in enumerate(ctx.reserved):
+                self.reserved[b] -= need
+        self.region_executions += 1
+        self.region_cycles_total += max(0, now - ctx.activated_at)
+        ctx.region = None
+        ctx.reserved = None
+        if warp.exited:
+            ctx.state = WarpState.FINISHED
+            return
+        ctx.state = WarpState.INACTIVE
+        ctx.inactive_since = now
+        self.stack.append(warp.wid)  # most-recent on top
+
+    def on_warp_exit(self, warp: Warp, now: int) -> None:
+        ctx = self.ctx[warp.wid]
+        self._drop_from_stack(warp.wid)
+        if ctx.state in (WarpState.ACTIVE, WarpState.DRAINING, WarpState.PRELOADING):
+            # Release on the spot; pending write-backs to erased entries are
+            # ignored gracefully by the OSU.
+            if warp.inflight == 0:
+                self._finish_region(warp, now)
+                ctx.state = WarpState.FINISHED
+            else:
+                ctx.state = WarpState.DRAINING
+        else:
+            ctx.state = WarpState.FINISHED
+
+    def mean_region_cycles(self) -> float:
+        if self.region_executions == 0:
+            return 0.0
+        return self.region_cycles_total / self.region_executions

@@ -1,0 +1,54 @@
+"""Register-to-memory address mapping (paper section 5.2.3).
+
+Registers spill to a global-memory buffer allocated at first kernel launch.
+The layout keeps all warps' copies of the same architectural register
+sequential — warps tend to touch the same register numbers around the same
+time, which minimizes L1 set conflicts:
+
+    addr(R, w) = reg_base + (R * n_warps + w) * 128
+
+Compressed registers live in a separate adjacent space where one 128-byte
+line holds 15 compressed registers (section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RegisterMapping", "REGS_PER_COMPRESSED_LINE"]
+
+#: 15 compressed registers (8 B value + 3-bit state each) per 128-byte line.
+REGS_PER_COMPRESSED_LINE = 15
+
+
+@dataclass(frozen=True)
+class RegisterMapping:
+    """Address computation for spilled registers."""
+
+    n_warps: int
+    n_regs: int
+    line_bytes: int = 128
+    reg_base: int = 0x8000_0000
+
+    @property
+    def uncompressed_bytes(self) -> int:
+        return self.n_regs * self.n_warps * self.line_bytes
+
+    @property
+    def compressed_base(self) -> int:
+        return self.reg_base + self.uncompressed_bytes
+
+    def slot(self, reg_index: int, warp_id: int) -> int:
+        """Linear slot number of (register, warp)."""
+        if not 0 <= reg_index < self.n_regs:
+            raise ValueError(f"register index {reg_index} out of range")
+        return reg_index * self.n_warps + (warp_id % self.n_warps)
+
+    def address(self, reg_index: int, warp_id: int) -> int:
+        """Uncompressed line address of one warp-register."""
+        return self.reg_base + self.slot(reg_index, warp_id) * self.line_bytes
+
+    def compressed_address(self, reg_index: int, warp_id: int) -> int:
+        """Line address of the compressed line holding this register."""
+        line = self.slot(reg_index, warp_id) // REGS_PER_COMPRESSED_LINE
+        return self.compressed_base + line * self.line_bytes

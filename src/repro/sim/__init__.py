@@ -1,0 +1,60 @@
+"""Cycle-level GPU simulator: warps, schedulers, shards, SMs."""
+
+from .config import GPUConfig
+from .events import EventWheel
+from .gpu import GPU, SimDeadlock, SimStats, run_simulation
+from .oracle import (
+    AlwaysTaken,
+    BernoulliLanes,
+    BernoulliWarp,
+    DivergentLoopExit,
+    FULL_MASK,
+    LoadBehavior,
+    LoopExit,
+    NeverTaken,
+    Oracle,
+    PredBehavior,
+)
+from .trace import TraceEvent, Tracer
+from .scheduler import (
+    GTOScheduler,
+    LRRScheduler,
+    TwoLevelScheduler,
+    WarpScheduler,
+    make_scheduler,
+)
+from .values import LaneValues, THREAD_ID, ValueKind, ZERO, mix_hash
+from .warp import StackEntry, Warp
+
+__all__ = [
+    "GPUConfig",
+    "EventWheel",
+    "GPU",
+    "SimDeadlock",
+    "SimStats",
+    "run_simulation",
+    "AlwaysTaken",
+    "BernoulliLanes",
+    "BernoulliWarp",
+    "DivergentLoopExit",
+    "FULL_MASK",
+    "LoadBehavior",
+    "LoopExit",
+    "NeverTaken",
+    "Oracle",
+    "PredBehavior",
+    "GTOScheduler",
+    "LRRScheduler",
+    "TwoLevelScheduler",
+    "WarpScheduler",
+    "make_scheduler",
+    "LaneValues",
+    "THREAD_ID",
+    "ValueKind",
+    "ZERO",
+    "mix_hash",
+    "StackEntry",
+    "Warp",
+    "TraceEvent",
+    "Tracer",
+]

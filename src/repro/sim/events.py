@@ -1,0 +1,43 @@
+"""A bucketed event wheel for the cycle-driven simulator.
+
+Callbacks are scheduled at absolute cycles; :meth:`EventWheel.tick` advances
+time by one cycle and runs that cycle's bucket.  This keeps the hot path a
+dict lookup instead of a priority queue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+__all__ = ["EventWheel"]
+
+
+class EventWheel:
+    """Schedule callables at future cycles."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._buckets: Dict[int, List[Callable[[], None]]] = {}
+        self._pending = 0
+
+    def at(self, cycle: int, fn: Callable[[], None]) -> None:
+        if cycle <= self.now:
+            raise ValueError(f"cannot schedule at {cycle} <= now {self.now}")
+        self._buckets.setdefault(cycle, []).append(fn)
+        self._pending += 1
+
+    def after(self, delay: int, fn: Callable[[], None]) -> None:
+        self.at(self.now + max(1, int(delay)), fn)
+
+    def tick(self) -> None:
+        """Advance one cycle and fire its events."""
+        self.now += 1
+        bucket = self._buckets.pop(self.now, None)
+        if bucket:
+            self._pending -= len(bucket)
+            for fn in bucket:
+                fn()
+
+    @property
+    def pending_events(self) -> int:
+        return self._pending

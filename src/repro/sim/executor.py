@@ -1,0 +1,90 @@
+"""Functional execution of instructions over the lane-value domain.
+
+:func:`compute_result` evaluates an ALU/SFU instruction's destination value;
+control flow, predicates, and memory are handled by the shard (they need
+timing and oracle context).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..isa.instructions import Instruction
+from ..isa.opcodes import Opcode
+from ..isa.registers import Imm, Pred, Reg
+from .values import LaneValues, ZERO
+from .warp import Warp
+
+__all__ = ["read_operand", "compute_result"]
+
+
+def read_operand(warp: Warp, operand) -> LaneValues:
+    if isinstance(operand, Reg):
+        return warp.read_reg(operand)
+    if isinstance(operand, Imm):
+        return LaneValues.uniform(operand.value)
+    if isinstance(operand, Pred):
+        # Predicate as a data source (SEL): lanes are 0/1 — opaque structure.
+        return LaneValues.random(warp.read_pred(operand) ^ 0xA5A5)
+    raise TypeError(f"unreadable operand {operand!r}")
+
+
+_SALTS = {
+    Opcode.XOR: 0x10,
+    Opcode.AND: 0x11,
+    Opcode.OR: 0x12,
+    Opcode.SHR: 0x13,
+    Opcode.IMIN: 0x14,
+    Opcode.IMAX: 0x15,
+    Opcode.FMIN: 0x16,
+    Opcode.FMAX: 0x17,
+    Opcode.SEL: 0x18,
+    Opcode.CVT: 0x19,
+    Opcode.RCP: 0x20,
+    Opcode.RSQ: 0x21,
+    Opcode.SIN: 0x22,
+    Opcode.EX2: 0x23,
+    Opcode.LG2: 0x24,
+    Opcode.FDIV: 0x25,
+    Opcode.FADD: 0x26,
+    Opcode.FMUL: 0x27,
+    Opcode.FFMA: 0x28,
+}
+
+
+def compute_result(warp: Warp, insn: Instruction) -> Optional[LaneValues]:
+    """Destination value for a (non-memory, non-control) instruction."""
+    op = insn.opcode
+    srcs = [read_operand(warp, s) for s in insn.srcs]
+    a = srcs[0] if srcs else ZERO
+    b = srcs[1] if len(srcs) > 1 else ZERO
+    c = srcs[2] if len(srcs) > 2 else ZERO
+
+    if op is Opcode.MOV or op is Opcode.CVT:
+        return a
+    if op is Opcode.IADD:
+        return a.add(b)
+    if op is Opcode.ISUB:
+        return a.sub(b)
+    if op is Opcode.IMUL:
+        return a.mul(b)
+    if op is Opcode.IMAD:
+        return a.mul(b).add(c)
+    if op is Opcode.SHL:
+        return a.shl(b)
+    if op is Opcode.FADD:
+        # Float adds keep integer-affine structure only approximately; treat
+        # as structure-preserving like IADD (compression sees raw bits of
+        # counters/addresses most often).
+        return a.add(b)
+    if op is Opcode.FMUL:
+        return a.mul(b)
+    if op is Opcode.FFMA:
+        return a.mul(b).add(c)
+    salt = _SALTS.get(op, 0x3F)
+    if len(srcs) <= 1:
+        return a.opaque(salt=salt)
+    result = a
+    for s in srcs[1:]:
+        result = result.opaque(s, salt=salt)
+    return result

@@ -1,0 +1,207 @@
+"""Top-level GPU simulation: SMs, shared memory hierarchy, run loop.
+
+:class:`GPU` ties together the compiled kernel, the workload oracles, the
+SMs and the L2/DRAM model, then runs cycle-by-cycle until every warp exits.
+A fast-forward optimization skips dead cycles (nothing issuable, no
+background work) straight to the next scheduled event, which speeds up
+memory-latency-bound phases dramatically without changing results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from typing import TYPE_CHECKING
+
+from ..compiler.pipeline import CompiledKernel
+from ..energy.accounting import Counters
+from ..mem.hierarchy import MemoryHierarchy
+from .config import GPUConfig
+from .events import EventWheel
+from .sm import SM
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..regfile.base import OperandStorage
+    from ..workloads.base import Workload
+
+__all__ = ["GPU", "SimStats", "SimDeadlock", "run_simulation"]
+
+
+class SimDeadlock(RuntimeError):
+    """No warp can ever make progress again."""
+
+
+@dataclass
+class SimStats:
+    """Results of one simulation run."""
+
+    cycles: int
+    instructions: int
+    warps_done: int
+    warps_total: int
+    counters: Dict[str, float]
+    finished: bool
+    #: distinct (warp, reg) count per working-set window (Figure 2).
+    working_set_samples: List[int] = field(default_factory=list)
+    #: per-window deltas of selected counters (Figure 3 time series).
+    window_series: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def working_set_kb(self) -> float:
+        """Mean register working set per window, in KB (128 B per register)."""
+        if not self.working_set_samples:
+            return 0.0
+        mean = sum(self.working_set_samples) / len(self.working_set_samples)
+        return mean * 128 / 1024
+
+
+class GPU:
+    """The simulated GPU."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        compiled: CompiledKernel,
+        workload: "Workload",
+        storage_factory: Callable[[int, int], "OperandStorage"],
+    ):
+        self.config = config
+        self.compiled = compiled
+        self.workload = workload
+        self.oracle = workload.oracle()
+        self.divergent_lines = workload.divergent_lines
+        self.counters = Counters()
+        self.wheel = EventWheel()
+        self.hierarchy = MemoryHierarchy(config, self.counters, self.wheel)
+        self.working_set: Set[Tuple[int, int]] = set()
+        self.sms = [
+            SM(self, sm_id, lambda shard_id, _sm=sm_id: storage_factory(_sm, shard_id))
+            for sm_id in range(config.n_sms)
+        ]
+
+    # -- run loop -----------------------------------------------------------------
+
+    def run(self, window_series: Sequence[str] = ()) -> SimStats:
+        cfg = self.config
+        wheel = self.wheel
+        instructions = 0
+        ws_samples: List[int] = []
+        series: Dict[str, List[float]] = {name: [] for name in window_series}
+        last_counter_vals = {name: 0.0 for name in window_series}
+        window = cfg.working_set_window
+        next_window = window
+        idle_cycles = 0
+
+        while wheel.now < cfg.max_cycles:
+            if all(sm.done for sm in self.sms) and not self._work_outstanding():
+                break
+
+            wheel.tick()
+            self.hierarchy.cycle()
+            issued = 0
+            for sm in self.sms:
+                issued += sm.cycle()
+            instructions += issued
+
+            # Window sampling (Figures 2 and 3).
+            if wheel.now >= next_window:
+                if cfg.track_working_set:
+                    ws_samples.append(len(self.working_set))
+                    self.working_set.clear()
+                for name in window_series:
+                    value = self.counters.get(name)
+                    series[name].append(value - last_counter_vals[name])
+                    last_counter_vals[name] = value
+                next_window += window
+
+            # Fast-forward over dead cycles.
+            if cfg.fast_forward and issued == 0 and not self.hierarchy.busy and all(
+                sm.storage_idle for sm in self.sms
+            ):
+                nxt = self._next_event_cycle()
+                if nxt is None:
+                    idle_cycles += 1
+                    if idle_cycles > 10_000:
+                        self._raise_deadlock()
+                else:
+                    idle_cycles = 0
+                    skip_to = min(nxt - 1, cfg.max_cycles)
+                    while wheel.now < skip_to:
+                        wheel.tick()  # empty buckets: O(1)
+                        if wheel.now >= next_window:
+                            if cfg.track_working_set:
+                                ws_samples.append(len(self.working_set))
+                                self.working_set.clear()
+                            for name in window_series:
+                                value = self.counters.get(name)
+                                series[name].append(value - last_counter_vals[name])
+                                last_counter_vals[name] = value
+                            next_window += window
+            elif issued == 0 and self.wheel.pending_events == 0 and (
+                not self.hierarchy.busy
+                and all(sm.storage_idle for sm in self.sms)
+            ):
+                idle_cycles += 1
+                if idle_cycles > 10_000:
+                    self._raise_deadlock()
+            else:
+                idle_cycles = 0
+
+        for sm in self.sms:
+            for shard in sm.shards:
+                shard.storage.finalize()
+
+        warps_done = sum(sm.warps_done for sm in self.sms)
+        warps_total = sum(len(sm.warps) for sm in self.sms)
+        return SimStats(
+            cycles=wheel.now,
+            instructions=instructions,
+            warps_done=warps_done,
+            warps_total=warps_total,
+            counters=self.counters.as_dict(),
+            finished=all(sm.done for sm in self.sms),
+            working_set_samples=ws_samples,
+            window_series=series,
+        )
+
+    def _work_outstanding(self) -> bool:
+        return (
+            self.wheel.pending_events > 0
+            or self.hierarchy.busy
+            or any(not sm.storage_idle for sm in self.sms)
+        )
+
+    def _next_event_cycle(self) -> Optional[int]:
+        buckets = self.wheel._buckets  # noqa: SLF001 - hot-path peek
+        return min(buckets) if buckets else None
+
+    def _raise_deadlock(self) -> None:
+        stuck = []
+        for sm in self.sms:
+            for w in sm.warps:
+                if not w.exited:
+                    stuck.append(
+                        f"warp {w.wid}: pc={w.pc} barrier={w.at_barrier} "
+                        f"inflight={w.inflight}"
+                    )
+        detail = "; ".join(stuck[:8])
+        raise SimDeadlock(f"no progress possible; stuck warps: {detail}")
+
+
+def run_simulation(
+    config: GPUConfig,
+    compiled: CompiledKernel,
+    workload: "Workload",
+    storage_factory: Callable[[int, int], "OperandStorage"],
+    window_series: Sequence[str] = (),
+) -> SimStats:
+    """Convenience wrapper: build a GPU and run it."""
+    gpu = GPU(config, compiled, workload, storage_factory)
+    return gpu.run(window_series=window_series)

@@ -1,0 +1,186 @@
+"""Workload oracles: branch outcomes and loaded-value structure.
+
+Kernels built by :mod:`repro.workloads` are *structural*: loops, divergent
+ifs and loads are real instructions, but their dynamic behaviour (trip
+counts, divergence patterns, value entropy of loaded data) is supplied by
+the workload through an :class:`Oracle` keyed on instruction ``tag``.
+
+* ``SETP`` instructions consult a :class:`PredBehavior` which yields the
+  per-lane predicate mask for each dynamic execution.
+* ``LDG``/``LDS`` instructions consult a :class:`LoadBehavior` which yields
+  the :class:`~repro.sim.values.LaneValues` structure of the loaded data —
+  this is what determines compressibility downstream.
+
+All behaviours are deterministic given the workload seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .values import LaneValues, mix_hash as _mix
+
+__all__ = [
+    "FULL_MASK",
+    "PredBehavior",
+    "LoopExit",
+    "DivergentLoopExit",
+    "BernoulliLanes",
+    "BernoulliWarp",
+    "NeverTaken",
+    "AlwaysTaken",
+    "LoadBehavior",
+    "Oracle",
+]
+
+FULL_MASK = (1 << 32) - 1
+
+
+class PredBehavior:
+    """Base class: per-execution predicate masks."""
+
+    def mask(self, warp_id: int, count: int, seed: int) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LoopExit(PredBehavior):
+    """Uniform loop: the exit predicate becomes true (for all lanes) on the
+    ``trips``-th execution.  Counts are taken modulo the trip count so a
+    nested loop restarts cleanly on every outer iteration.
+    ``per_warp_skew`` staggers trip counts across warps."""
+
+    trips: int
+    per_warp_skew: int = 0
+
+    def mask(self, warp_id: int, count: int, seed: int) -> int:
+        trips = max(1, self.trips + (warp_id % (self.per_warp_skew + 1)))
+        return FULL_MASK if (count % trips) == trips - 1 else 0
+
+
+@dataclass(frozen=True)
+class DivergentLoopExit(PredBehavior):
+    """Per-lane trip counts drawn from [min_trips, max_trips]: lanes exit
+    the loop at different iterations (classic divergent loop).  One loop
+    instance always executes its header ``max_trips`` times, so counts are
+    taken modulo ``max_trips`` for nesting."""
+
+    min_trips: int
+    max_trips: int
+
+    def mask(self, warp_id: int, count: int, seed: int) -> int:
+        mask = 0
+        span = max(1, self.max_trips - self.min_trips + 1)
+        phase = count % max(1, self.max_trips)
+        for lane in range(32):
+            trip = self.min_trips + _mix(seed, warp_id, lane, 7) % span
+            if phase >= trip - 1:
+                mask |= 1 << lane
+        return mask
+
+
+@dataclass(frozen=True)
+class BernoulliLanes(PredBehavior):
+    """Each lane independently true with probability ``p`` per execution."""
+
+    p: float
+
+    def mask(self, warp_id: int, count: int, seed: int) -> int:
+        threshold = int(self.p * 0x10000)
+        mask = 0
+        for lane in range(32):
+            if _mix(seed, warp_id, count, lane, 11) % 0x10000 < threshold:
+                mask |= 1 << lane
+        return mask
+
+
+@dataclass(frozen=True)
+class BernoulliWarp(PredBehavior):
+    """All lanes agree; true with probability ``p`` per execution."""
+
+    p: float
+
+    def mask(self, warp_id: int, count: int, seed: int) -> int:
+        threshold = int(self.p * 0x10000)
+        if _mix(seed, warp_id, count, 13) % 0x10000 < threshold:
+            return FULL_MASK
+        return 0
+
+
+@dataclass(frozen=True)
+class NeverTaken(PredBehavior):
+    def mask(self, warp_id: int, count: int, seed: int) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class AlwaysTaken(PredBehavior):
+    def mask(self, warp_id: int, count: int, seed: int) -> int:
+        return FULL_MASK
+
+
+@dataclass(frozen=True)
+class LoadBehavior:
+    """Structure distribution of loaded values.
+
+    With probability ``uniform_frac`` a load returns a UNIFORM value, with
+    ``affine_frac`` an AFFINE (stride 1 or 4) value, otherwise RANDOM.
+    These fractions model how compressible a benchmark's data is
+    (paper section 5.3 / Figure 17).
+    """
+
+    uniform_frac: float = 0.2
+    affine_frac: float = 0.3
+    stride: int = 4
+
+    def value(self, warp_id: int, count: int, seed: int) -> LaneValues:
+        r = _mix(seed, warp_id, count, 17) % 0x10000 / 0x10000
+        if r < self.uniform_frac:
+            return LaneValues.uniform(_mix(seed, warp_id, count, 19))
+        if r < self.uniform_frac + self.affine_frac:
+            stride = self.stride if (count % 2 == 0) else 1
+            return LaneValues.affine(_mix(seed, warp_id, count, 23), stride)
+        return LaneValues.random(_mix(seed, warp_id, count, 29))
+
+
+class Oracle:
+    """Per-run dynamic behaviour: tag -> behaviour, with execution counts."""
+
+    def __init__(
+        self,
+        seed: int = 1,
+        pred_behaviors: Optional[Dict[str, PredBehavior]] = None,
+        load_behaviors: Optional[Dict[str, LoadBehavior]] = None,
+        default_pred: Optional[PredBehavior] = None,
+        default_load: Optional[LoadBehavior] = None,
+    ):
+        self.seed = seed
+        self._preds = dict(pred_behaviors or {})
+        self._loads = dict(load_behaviors or {})
+        self._default_pred = default_pred or BernoulliWarp(0.5)
+        self._default_load = default_load or LoadBehavior()
+        self._counts: Dict[Tuple[int, int], int] = {}
+
+    def _bump(self, warp_id: int, pc: int) -> int:
+        key = (warp_id, pc)
+        count = self._counts.get(key, 0)
+        self._counts[key] = count + 1
+        return count
+
+    def pred_mask(self, warp_id: int, pc: int, tag: Optional[str]) -> int:
+        count = self._bump(warp_id, pc)
+        behavior = self._preds.get(tag) if tag else None
+        if behavior is None:
+            behavior = self._default_pred
+        return behavior.mask(warp_id, count, _mix(self.seed, pc)) & FULL_MASK
+
+    def load_value(self, warp_id: int, pc: int, tag: Optional[str]) -> LaneValues:
+        count = self._bump(warp_id, pc + 1_000_000)
+        behavior = self._loads.get(tag) if tag else None
+        if behavior is None:
+            behavior = self._default_load
+        return behavior.value(warp_id, count, _mix(self.seed, pc, 31))
+
+    def reset(self) -> None:
+        self._counts.clear()

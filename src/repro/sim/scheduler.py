@@ -1,0 +1,139 @@
+"""Warp schedulers: GTO (baseline), loose round-robin, two-level.
+
+The scheduler only produces a *priority order* over its warps each cycle;
+the shard walks the order and issues the first ready instructions.  The
+two-level scheduler (Gebhart et al. [9], used by the RFH comparison and by
+Figure 2) keeps a small active pool and demotes warps that stall on memory.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .warp import Warp
+
+__all__ = ["WarpScheduler", "GTOScheduler", "LRRScheduler", "TwoLevelScheduler", "make_scheduler"]
+
+
+class WarpScheduler:
+    """Base interface."""
+
+    def __init__(self, warps: List[Warp]):
+        self.warps = warps
+
+    def order(self, cycle: int) -> Iterable[Warp]:
+        raise NotImplementedError
+
+    def notify_issue(self, warp: Warp, cycle: int) -> None:
+        """A warp issued this cycle."""
+
+    def notify_long_stall(self, warp: Warp) -> None:
+        """A warp blocked on a long-latency (memory) operation."""
+
+
+class GTOScheduler(WarpScheduler):
+    """Greedy-then-oldest: keep issuing from the last warp until it stalls,
+    then fall back to the warp that has waited longest for an issue slot.
+
+    (With a single launch wave per warp — as in these experiments — a
+    static-id fallback would run early warps to completion and leave a
+    serial low-parallelism tail; least-recently-issued is the skew-free
+    equivalent of "oldest" under continuous CTA replenishment.)"""
+
+    def __init__(self, warps: List[Warp]):
+        super().__init__(warps)
+        self._greedy: Warp = warps[0] if warps else None  # type: ignore
+        self._greedy_issued_at = -1
+
+    def order(self, cycle: int) -> Iterable[Warp]:
+        if self._greedy is not None and not self._greedy.done:
+            yield self._greedy
+        for w in sorted(self.warps, key=lambda w: w.last_issue_cycle):
+            if w is not self._greedy:
+                yield w
+
+    def notify_issue(self, warp: Warp, cycle: int) -> None:
+        warp.last_issue_cycle = cycle
+        if warp is self._greedy:
+            self._greedy_issued_at = cycle
+            return
+        # Only hand greediness over when the current greedy warp failed to
+        # issue this cycle (it stalled) — a second-slot issue from another
+        # warp must not steal it, or GTO degenerates into round-robin and
+        # lock-steps every warp through the same program phase.
+        if (
+            self._greedy is None
+            or self._greedy.done
+            or self._greedy_issued_at < cycle
+        ):
+            self._greedy = warp
+            self._greedy_issued_at = cycle
+
+
+class LRRScheduler(WarpScheduler):
+    """Loose round-robin."""
+
+    def __init__(self, warps: List[Warp]):
+        super().__init__(warps)
+        self._next = 0
+
+    def order(self, cycle: int) -> Iterable[Warp]:
+        n = len(self.warps)
+        for i in range(n):
+            yield self.warps[(self._next + i) % n]
+
+    def notify_issue(self, warp: Warp, cycle: int) -> None:
+        self._next = (self.warps.index(warp) + 1) % len(self.warps)
+
+
+class TwoLevelScheduler(WarpScheduler):
+    """Two-level scheduling (Gebhart et al.): only a small active pool is
+    eligible; warps that stall on memory are demoted to the pending pool and
+    replaced by the next pending warp.  A promoted warp pays a pipeline
+    refill penalty (its instructions were flushed from the small active-pool
+    buffers) — one reason GTO outperforms two-level schedulers [56]."""
+
+    PROMOTE_PENALTY = 14
+
+    def __init__(self, warps: List[Warp], active_size: int = 8):
+        super().__init__(warps)
+        self.active_size = active_size
+        self._active: List[Warp] = list(warps[:active_size])
+        self._pending: List[Warp] = list(warps[active_size:])
+        self._now = 0
+
+    def order(self, cycle: int) -> Iterable[Warp]:
+        self._now = cycle
+        self._refill()
+        return list(self._active)
+
+    def _refill(self) -> None:
+        self._active = [w for w in self._active if not w.done]
+        self._pending = [w for w in self._pending if not w.done]
+        while len(self._active) < self.active_size and self._pending:
+            warp = self._pending.pop(0)
+            warp.stall_until = max(warp.stall_until, self._now + self.PROMOTE_PENALTY)
+            self._active.append(warp)
+
+    def notify_issue(self, warp: Warp, cycle: int) -> None:
+        warp.last_issue_cycle = cycle
+
+    def notify_long_stall(self, warp: Warp) -> None:
+        if warp in self._active:
+            self._active.remove(warp)
+            self._pending.append(warp)
+            self._refill()
+
+    @property
+    def active_pool(self) -> List[Warp]:
+        return list(self._active)
+
+
+def make_scheduler(kind: str, warps: List[Warp], two_level_active: int = 8) -> WarpScheduler:
+    if kind == "gto":
+        return GTOScheduler(warps)
+    if kind == "lrr":
+        return LRRScheduler(warps)
+    if kind == "two_level":
+        return TwoLevelScheduler(warps, two_level_active)
+    raise ValueError(f"unknown scheduler {kind!r}")

@@ -1,0 +1,253 @@
+"""One warp-scheduler shard: issue, execute, write back.
+
+The GTX 980 SM has four schedulers; RegLess shards its hardware the same
+way, so the shard is the natural unit tying a warp scheduler to an operand
+storage backend.  Each cycle the shard walks the scheduler's priority order
+and issues up to ``issue_width`` ready instructions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..isa.instructions import Instruction
+from ..isa.opcodes import FuncUnit, Opcode
+from ..regfile.base import OperandStorage
+from .executor import compute_result, read_operand
+from .oracle import FULL_MASK
+from .scheduler import WarpScheduler
+from .warp import Warp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .sm import SM
+
+__all__ = ["Shard"]
+
+
+class Shard:
+    """A scheduler slice of an SM plus its operand storage."""
+
+    def __init__(
+        self,
+        sm: "SM",
+        shard_id: int,
+        warps: List[Warp],
+        scheduler: WarpScheduler,
+        storage: OperandStorage,
+    ):
+        self.sm = sm
+        self.shard_id = shard_id
+        self.warps = warps
+        self.scheduler = scheduler
+        self.storage = storage
+        storage.attach(self)
+
+    # -- per-cycle issue loop ---------------------------------------------------
+
+    def cycle(self) -> int:
+        """Run one cycle; returns the number of instructions issued."""
+        self.storage.cycle()
+        cfg = self.sm.config
+        budget = cfg.issue_width
+        issued = 0
+        now = self.sm.wheel.now
+        for warp in self.scheduler.order(now):
+            if budget <= 0:
+                break
+            if not self._try_issue(warp, now):
+                continue
+            budget -= 1
+            issued += 1
+            self.scheduler.notify_issue(warp, now)
+            # GTX 980 schedulers dual-issue a second, independent
+            # instruction from the same warp.
+            if budget > 0 and self._try_issue(warp, now):
+                budget -= 1
+                issued += 1
+        return issued
+
+    def _try_issue(self, warp: Warp, now: int) -> bool:
+        if not warp.runnable or now < warp.stall_until:
+            return False
+        warp.maybe_reconverge()
+        pc = warp.pc
+        if pc >= self.sm.program_len:
+            # Fell off the end without EXIT; treat as done.
+            warp.exited = True
+            self.storage.on_warp_exit(warp)
+            self.sm.notify_warp_done(warp)
+            return False
+        insn = self.sm.program[pc]
+        if not warp.scoreboard_ready(insn):
+            if self._blocked_on_memory(warp, insn):
+                self.scheduler.notify_long_stall(warp)
+            return False
+        if not self.storage.can_issue(warp, pc, insn):
+            # Warps the storage cannot serve (non-resident CTA, inactive
+            # RegLess region) must not pin a two-level active-pool slot.
+            self.scheduler.notify_long_stall(warp)
+            return False
+        if insn.opcode.info.unit is FuncUnit.MEM and not self.sm.take_mem_slot():
+            return False
+        self.issue(warp, pc, insn)
+        return True
+
+    def _blocked_on_memory(self, warp: Warp, insn: Instruction) -> bool:
+        """Two-level demotion trigger: a source operand is waiting on an
+        in-flight global load (ALU-latency stalls do not demote)."""
+        if not warp.pending_loads:
+            return False
+        return any(r.index in warp.pending_loads for r in insn.reg_srcs)
+
+    # -- issue ------------------------------------------------------------------------
+
+    def issue(self, warp: Warp, pc: int, insn: Instruction) -> None:
+        sm = self.sm
+        sm.counters.inc("insn_issued")
+        warp.issued += 1
+        # Metadata instructions ride the fetch/decode path (the decode stage
+        # fills the CM's metadata store, section 5.4); they cost fetch
+        # energy but no execution-issue slots.
+        meta = self.storage.metadata_slots(warp, pc)
+        if meta:
+            sm.counters.inc("metadata_issue", meta)
+
+        if sm.config.track_working_set:
+            ws = sm.gpu.working_set
+            for r in insn.regs:
+                ws.add((warp.wid, r.index))
+
+        guard_mask = warp.guard_mask(insn)
+        active = warp.active_mask & guard_mask
+        op = insn.opcode
+        info = op.info
+
+        # Control resolution happens at issue (the scoreboard guarantees the
+        # guard predicate has been written).
+        if info.is_branch:
+            self._resolve_branch(warp, insn, pc)
+        elif info.is_exit:
+            warp.advance()
+            warp.exited = True
+            self.storage.on_issue(warp, pc, insn)
+            self.storage.on_warp_exit(warp)
+            sm.notify_warp_done(warp)
+            return
+        elif info.is_barrier:
+            warp.advance()
+            self.storage.on_issue(warp, pc, insn)
+            sm.barrier_arrive(warp)
+            if warp.at_barrier:
+                # A barrier-blocked warp must not hold a two-level
+                # active-pool slot, or stragglers can never be promoted.
+                self.scheduler.notify_long_stall(warp)
+            return
+        else:
+            warp.advance()
+
+        self.storage.on_issue(warp, pc, insn)
+
+        if info.unit is FuncUnit.MEM:
+            self._issue_memory(warp, insn, pc, active)
+            return
+
+        if op is Opcode.SETP:
+            self._issue_setp(warp, insn, pc)
+            return
+
+        if insn.reg_dsts:
+            self._issue_alu(warp, insn, pc, active, guard_mask)
+
+    # -- instruction classes ---------------------------------------------------------
+
+    def _issue_alu(self, warp: Warp, insn: Instruction, pc: int,
+                   active: int, guard_mask: int) -> None:
+        value = compute_result(warp, insn)
+        full = guard_mask & warp.active_mask == warp.active_mask
+        dst = insn.reg_dsts[0]
+        warp.write_reg(dst, value, full=full)
+        warp.mark_pending(insn)
+        latency = insn.opcode.info.latency
+        self.sm.wheel.after(latency, lambda: self._writeback(warp, pc, insn))
+
+    def _issue_setp(self, warp: Warp, insn: Instruction, pc: int) -> None:
+        mask = self.sm.gpu.oracle.pred_mask(warp.wid, pc, insn.tag)
+        warp.write_pred(insn.pred_dsts[0], mask)
+        warp.mark_pending(insn)
+        latency = insn.opcode.info.latency
+        self.sm.wheel.after(latency, lambda: self._writeback(warp, pc, insn))
+
+    def _issue_memory(self, warp: Warp, insn: Instruction, pc: int,
+                      active: int) -> None:
+        sm = self.sm
+        op = insn.opcode
+        if op is Opcode.LDS:
+            if insn.reg_dsts:
+                value = read_operand(warp, insn.srcs[0]).opaque(salt=0x60)
+                warp.write_reg(insn.reg_dsts[0], value)
+                warp.mark_pending(insn)
+                sm.wheel.after(op.info.latency,
+                               lambda: self._writeback(warp, pc, insn))
+            sm.counters.inc("shared_access")
+            return
+        if op is Opcode.STS:
+            sm.counters.inc("shared_access")
+            return
+
+        addr = read_operand(warp, insn.srcs[0])
+        lines = addr.line_addresses(
+            sm.config.line_bytes, sm.gpu.divergent_lines
+        )
+        if op is Opcode.STG:
+            for line in lines:
+                sm.hierarchy.request(sm.sm_id, line, True, None, kind="data")
+            sm.counters.inc("gmem_store_lines", len(lines))
+            return
+
+        # LDG: the destination is pending until every line returns.
+        sm.counters.inc("gmem_load_lines", len(lines))
+        value = sm.gpu.oracle.load_value(warp.wid, pc, insn.tag)
+        warp.write_reg(insn.reg_dsts[0], value,
+                       full=active == warp.active_mask)
+        warp.mark_pending(insn)
+        warp.pending_loads.add(insn.reg_dsts[0].index)
+        remaining = {"n": len(lines)}
+
+        def on_line() -> None:
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                self._writeback(warp, pc, insn)
+
+        for line in lines:
+            sm.hierarchy.request(sm.sm_id, line, False, on_line, kind="data")
+
+    # -- write-back ----------------------------------------------------------------------
+
+    def _writeback(self, warp: Warp, pc: int, insn: Instruction) -> None:
+        warp.clear_pending(insn)
+        if insn.opcode.is_global_load and insn.reg_dsts:
+            warp.pending_loads.discard(insn.reg_dsts[0].index)
+        if self.sm.config.track_working_set and insn.reg_dsts:
+            ws = self.sm.gpu.working_set
+            for r in insn.reg_dsts:
+                ws.add((warp.wid, r.index))
+        self.storage.on_writeback(warp, pc, insn)
+
+    # -- control flow -----------------------------------------------------------------------
+
+    def _resolve_branch(self, warp: Warp, insn: Instruction, pc: int) -> None:
+        target_pc = self.sm.block_start(insn.target)
+        if insn.guard is None:
+            warp.jump(target_pc)
+            return
+        mask = warp.guard_mask(insn)
+        taken = warp.active_mask & mask
+        nottaken = warp.active_mask & ~mask & FULL_MASK
+        if nottaken == 0:
+            warp.jump(target_pc)
+        elif taken == 0:
+            warp.advance()
+        else:
+            self.sm.counters.inc("divergent_branch")
+            reconv_pc = self.sm.reconv_pc(pc)
+            warp.diverge(reconv_pc, target_pc, taken, pc + 1, nottaken)

@@ -1,0 +1,107 @@
+"""Execution tracing: capture per-cycle pipeline events for debugging.
+
+A :class:`Tracer` hooks a GPU before ``run()`` and records issue,
+write-back, and (for RegLess) warp-state events into a bounded ring.  The
+text renderer produces a compact pipeline view::
+
+    cycle 142 | S0 w03 pc=17 iadd R4, R4, R7
+    cycle 142 | S1 w12 pc=05 ldg R7, R6
+    cycle 145 | S0 w03 writeback pc=17
+
+Tracing is strictly opt-in (it costs time and memory); attach it only to
+small runs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional
+
+from ..isa.instructions import Instruction
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One pipeline event."""
+
+    cycle: int
+    kind: str  # "issue" | "writeback"
+    sm: int
+    shard: int
+    warp: int
+    pc: int
+    text: str
+
+    def render(self) -> str:
+        return (
+            f"cycle {self.cycle:>6} | SM{self.sm} S{self.shard} "
+            f"w{self.warp:02d} pc={self.pc:<4} {self.kind:<9} {self.text}"
+        )
+
+
+class Tracer:
+    """Bounded event recorder wired into a GPU's shards."""
+
+    def __init__(self, capacity: int = 10_000):
+        self.capacity = capacity
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._attached = False
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(self, gpu) -> None:
+        """Wrap every shard's issue/writeback with recording hooks."""
+        if self._attached:
+            raise RuntimeError("tracer already attached")
+        self._attached = True
+        for sm in gpu.sms:
+            for shard in sm.shards:
+                self._wrap_shard(gpu, sm, shard)
+
+    def _wrap_shard(self, gpu, sm, shard) -> None:
+        orig_issue = shard.issue
+        orig_writeback = shard._writeback
+
+        def traced_issue(warp, pc: int, insn: Instruction):
+            self.record("issue", sm.sm_id, shard.shard_id, warp.wid,
+                        pc, repr(insn), gpu.wheel.now)
+            return orig_issue(warp, pc, insn)
+
+        def traced_writeback(warp, pc: int, insn: Instruction):
+            self.record("writeback", sm.sm_id, shard.shard_id, warp.wid,
+                        pc, repr(insn), gpu.wheel.now)
+            return orig_writeback(warp, pc, insn)
+
+        shard.issue = traced_issue
+        shard._writeback = traced_writeback
+
+    # -- recording ----------------------------------------------------------------
+
+    def record(self, kind: str, sm: int, shard: int, warp: int, pc: int,
+               text: str, cycle: int) -> None:
+        self.events.append(
+            TraceEvent(cycle=cycle, kind=kind, sm=sm, shard=shard,
+                       warp=warp, pc=pc, text=text)
+        )
+
+    # -- queries ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def for_warp(self, warp: int) -> List[TraceEvent]:
+        return [e for e in self.events if e.warp == warp]
+
+    def issues(self) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == "issue"]
+
+    def between(self, start: int, end: int) -> List[TraceEvent]:
+        return [e for e in self.events if start <= e.cycle < end]
+
+    def render(self, events: Optional[Iterable[TraceEvent]] = None,
+               limit: int = 200) -> str:
+        rows = list(events if events is not None else self.events)[:limit]
+        return "\n".join(e.render() for e in rows)

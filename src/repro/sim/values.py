@@ -1,0 +1,171 @@
+"""Affine lane-value domain.
+
+The simulator executes instructions *functionally* over a small abstract
+domain instead of 32 concrete lane values:
+
+* ``UNIFORM(base)``        — every lane holds ``base``;
+* ``AFFINE(base, stride)`` — lane *i* holds ``base + stride * i``;
+* ``RANDOM(tag)``          — lanes hold unrelated values (``tag`` keeps
+  results deterministic and distinguishable).
+
+This domain is exactly the value structure the RegLess compressor exploits
+(paper section 5.3: constant, stride-1, stride-4 and half-warp patterns), so
+compressibility statistics emerge from real dataflow: thread-id arithmetic
+stays affine, loaded data is as random as the workload says, and address
+arithmetic yields realistic coalescing behaviour.
+
+Arithmetic is closed where the real operation would preserve the pattern
+(adding two affine values, scaling by a uniform, …) and falls back to
+``RANDOM`` with a deterministic tag otherwise.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..isa.registers import WARP_WIDTH
+
+__all__ = ["ValueKind", "LaneValues", "THREAD_ID", "ZERO", "mix_hash"]
+
+_MASK32 = 0xFFFFFFFF
+
+
+class ValueKind(enum.Enum):
+    UNIFORM = "uniform"
+    AFFINE = "affine"
+    RANDOM = "random"
+
+
+def mix_hash(*parts: int) -> int:
+    """Deterministic 32-bit FNV-style hash (RANDOM tags, oracles)."""
+    h = 0x811C9DC5
+    for p in parts:
+        h ^= p & _MASK32
+        h = (h * 0x01000193) & _MASK32
+    return h
+
+
+_mix = mix_hash
+
+
+@dataclass(frozen=True)
+class LaneValues:
+    """One warp-register value across all 32 lanes."""
+
+    kind: ValueKind
+    base: int = 0
+    stride: int = 0
+    tag: int = 0
+
+    # -- constructors ----------------------------------------------------------
+
+    @staticmethod
+    def uniform(base: int) -> "LaneValues":
+        return LaneValues(ValueKind.UNIFORM, base & _MASK32)
+
+    @staticmethod
+    def affine(base: int, stride: int) -> "LaneValues":
+        if stride == 0:
+            return LaneValues.uniform(base)
+        return LaneValues(ValueKind.AFFINE, base & _MASK32, stride)
+
+    @staticmethod
+    def random(tag: int) -> "LaneValues":
+        return LaneValues(ValueKind.RANDOM, tag=tag & _MASK32)
+
+    # -- properties ----------------------------------------------------------------
+
+    @property
+    def is_uniform(self) -> bool:
+        return self.kind is ValueKind.UNIFORM
+
+    @property
+    def is_affine(self) -> bool:
+        return self.kind is ValueKind.AFFINE
+
+    @property
+    def is_random(self) -> bool:
+        return self.kind is ValueKind.RANDOM
+
+    def lane(self, i: int) -> int:
+        """Concrete value of lane ``i`` (RANDOM lanes are hashed)."""
+        if self.kind is ValueKind.UNIFORM:
+            return self.base
+        if self.kind is ValueKind.AFFINE:
+            return (self.base + self.stride * i) & _MASK32
+        return _mix(self.tag, i)
+
+    # -- arithmetic ------------------------------------------------------------------
+
+    def add(self, other: "LaneValues") -> "LaneValues":
+        if self.is_random or other.is_random:
+            return LaneValues.random(_mix(self.tag, other.tag, self.base, other.base, 1))
+        return LaneValues.affine(
+            self.base + other.base, self.stride + other.stride
+        )
+
+    def sub(self, other: "LaneValues") -> "LaneValues":
+        if self.is_random or other.is_random:
+            return LaneValues.random(_mix(self.tag, other.tag, self.base, other.base, 2))
+        return LaneValues.affine(
+            self.base - other.base, self.stride - other.stride
+        )
+
+    def mul(self, other: "LaneValues") -> "LaneValues":
+        if self.is_uniform and other.is_uniform:
+            return LaneValues.uniform(self.base * other.base)
+        if self.is_uniform and other.is_affine:
+            return LaneValues.affine(self.base * other.base, self.base * other.stride)
+        if self.is_affine and other.is_uniform:
+            return LaneValues.affine(self.base * other.base, self.stride * other.base)
+        return LaneValues.random(_mix(self.tag, other.tag, self.base, other.base, 3))
+
+    def shl(self, other: "LaneValues") -> "LaneValues":
+        if other.is_uniform and not self.is_random:
+            factor = 1 << (other.base & 31)
+            return LaneValues.affine(self.base * factor, self.stride * factor)
+        return LaneValues.random(_mix(self.tag, other.tag, self.base, other.base, 4))
+
+    def opaque(self, other: Optional["LaneValues"] = None, salt: int = 0) -> "LaneValues":
+        """Result of an operation that destroys structure (div, sin, xor...)."""
+        o = other if other is not None else ZERO
+        if self.is_uniform and o.is_uniform:
+            return LaneValues.uniform(_mix(self.base, o.base, salt))
+        return LaneValues.random(
+            _mix(self.tag, o.tag, self.base, o.base, self.stride, o.stride, salt)
+        )
+
+    # -- memory helpers ------------------------------------------------------------------
+
+    def coalesced_lines(self, line_bytes: int, divergent_lines: int = 32) -> int:
+        """Distinct cache lines touched when used as a byte address."""
+        if self.is_uniform:
+            return 1
+        if self.is_affine:
+            stride = abs(self.stride)
+            span = stride * (WARP_WIDTH - 1)
+            first = self.base // line_bytes
+            last = (self.base + span) // line_bytes
+            return int(last - first + 1)
+        return max(1, min(WARP_WIDTH, divergent_lines))
+
+    def line_addresses(self, line_bytes: int, divergent_lines: int = 32):
+        """The distinct line-aligned addresses touched (deterministic)."""
+        if self.is_uniform:
+            return [self.base - self.base % line_bytes]
+        if self.is_affine:
+            n = self.coalesced_lines(line_bytes)
+            first = self.base - self.base % line_bytes
+            step = line_bytes if self.stride >= 0 else -line_bytes
+            return [(first + step * i) & _MASK32 for i in range(n)]
+        n = max(1, min(WARP_WIDTH, divergent_lines))
+        return [
+            (_mix(self.tag, i) * line_bytes) & _MASK32 for i in range(n)
+        ]
+
+
+#: Lane index vector (thread id within warp): 0, 1, 2, ... 31.
+THREAD_ID = LaneValues.affine(0, 1)
+ZERO = LaneValues.uniform(0)

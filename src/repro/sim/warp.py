@@ -1,0 +1,184 @@
+"""Warp state: program counter, SIMT reconvergence stack, scoreboard.
+
+Divergence uses the classic immediate-postdominator stack: a divergent
+branch turns the running stack entry into the reconvergence entry (its pc
+set to the IPDOM), then pushes the not-taken and taken paths.  Execution
+always proceeds from the top entry; when its pc reaches its reconvergence
+pc the entry pops.
+
+The scoreboard is per-warp: an instruction may issue only when none of its
+source or destination registers/predicates has an outstanding write (RAW and
+WAW are both blocked, as in GPGPU-sim's simple scoreboard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..isa.instructions import Instruction
+from ..isa.registers import Pred, Reg
+from .oracle import FULL_MASK
+from .values import LaneValues, ZERO, mix_hash
+
+__all__ = ["StackEntry", "Warp"]
+
+
+@dataclass
+class StackEntry:
+    """One SIMT stack level."""
+
+    reconv_pc: int
+    mask: int
+    pc: int
+
+
+@dataclass
+class Warp:
+    """Dynamic state of one warp."""
+
+    wid: int
+    shard_id: int
+    cta_id: int
+    entry_pc: int
+    sentinel_pc: int  # kernel end: never a real reconvergence point
+
+    stack: List[StackEntry] = field(default_factory=list)
+    regs: Dict[int, LaneValues] = field(default_factory=dict)
+    preds: Dict[int, int] = field(default_factory=dict)
+    pending_regs: Dict[int, int] = field(default_factory=dict)
+    pending_preds: Dict[int, int] = field(default_factory=dict)
+    #: registers with an in-flight global load (for two-level demotion).
+    pending_loads: set = field(default_factory=set)
+
+    exited: bool = False
+    at_barrier: bool = False
+    #: cycle after which the warp may issue again (short structural stalls).
+    stall_until: int = 0
+    #: outstanding writebacks (loads + ALU in flight).
+    inflight: int = 0
+    #: dynamic instruction count.
+    issued: int = 0
+    #: set by GTO when this warp last issued (greedy stickiness).
+    last_issue_cycle: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.stack:
+            self.stack.append(
+                StackEntry(self.sentinel_pc, FULL_MASK, self.entry_pc)
+            )
+
+    # -- control state -------------------------------------------------------
+
+    @property
+    def top(self) -> StackEntry:
+        return self.stack[-1]
+
+    def maybe_reconverge(self) -> None:
+        """Pop stack entries whose pc reached their reconvergence point."""
+        while len(self.stack) > 1 and self.top.pc == self.top.reconv_pc:
+            self.stack.pop()
+
+    @property
+    def pc(self) -> int:
+        return self.top.pc
+
+    @property
+    def active_mask(self) -> int:
+        return self.top.mask
+
+    @property
+    def done(self) -> bool:
+        return self.exited
+
+    @property
+    def runnable(self) -> bool:
+        return not self.exited and not self.at_barrier
+
+    def advance(self) -> None:
+        self.top.pc += 1
+
+    def jump(self, pc: int) -> None:
+        self.top.pc = pc
+
+    def diverge(self, reconv_pc: int, taken_pc: int, taken_mask: int,
+                fallthrough_pc: int, nottaken_mask: int) -> None:
+        """Split the warp at a divergent branch."""
+        current = self.top
+        current.pc = reconv_pc  # becomes the reconvergence entry
+        self.stack.append(StackEntry(reconv_pc, nottaken_mask, fallthrough_pc))
+        self.stack.append(StackEntry(reconv_pc, taken_mask, taken_pc))
+
+    # -- register values ---------------------------------------------------------
+
+    def read_reg(self, reg: Reg) -> LaneValues:
+        return self.regs.get(reg.index, ZERO)
+
+    def write_reg(self, reg: Reg, value: LaneValues, full: bool = True) -> None:
+        """Write a register; a partial (guarded/divergent) write merges with
+        the old value, mixing lanes from both — which destroys any affine
+        structure unless old and new were identical."""
+        if full:
+            self.regs[reg.index] = value
+        else:
+            old = self.regs.get(reg.index, ZERO)
+            if old == value:
+                return
+            self.regs[reg.index] = LaneValues.random(
+                mix_hash(value.base, value.stride, value.tag,
+                         old.base, old.stride, old.tag, 0x51)
+            )
+
+    def read_pred(self, pred: Pred) -> int:
+        return self.preds.get(pred.index, 0)
+
+    def write_pred(self, pred: Pred, mask: int) -> None:
+        self.preds[pred.index] = mask & FULL_MASK
+
+    def guard_mask(self, insn: Instruction) -> int:
+        """Lanes enabled by the instruction's predicate guard."""
+        if insn.guard is None:
+            return FULL_MASK
+        mask = self.read_pred(insn.guard.pred)
+        if insn.guard.negate:
+            mask = ~mask & FULL_MASK
+        return mask
+
+    # -- scoreboard ----------------------------------------------------------------
+
+    def scoreboard_ready(self, insn: Instruction) -> bool:
+        for r in insn.reg_srcs:
+            if self.pending_regs.get(r.index, 0):
+                return False
+        for r in insn.reg_dsts:
+            if self.pending_regs.get(r.index, 0):
+                return False
+        for p in insn.pred_srcs:
+            if self.pending_preds.get(p.index, 0):
+                return False
+        for p in insn.pred_dsts:
+            if self.pending_preds.get(p.index, 0):
+                return False
+        return True
+
+    def mark_pending(self, insn: Instruction) -> None:
+        for r in insn.reg_dsts:
+            self.pending_regs[r.index] = self.pending_regs.get(r.index, 0) + 1
+        for p in insn.pred_dsts:
+            self.pending_preds[p.index] = self.pending_preds.get(p.index, 0) + 1
+        self.inflight += 1
+
+    def clear_pending(self, insn: Instruction) -> None:
+        for r in insn.reg_dsts:
+            n = self.pending_regs.get(r.index, 0)
+            if n <= 1:
+                self.pending_regs.pop(r.index, None)
+            else:
+                self.pending_regs[r.index] = n - 1
+        for p in insn.pred_dsts:
+            n = self.pending_preds.get(p.index, 0)
+            if n <= 1:
+                self.pending_preds.pop(p.index, None)
+            else:
+                self.pending_preds[p.index] = n - 1
+        self.inflight -= 1

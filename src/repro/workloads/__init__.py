@@ -1,0 +1,28 @@
+"""Benchmark workloads: the synthetic Rodinia suite and its building blocks."""
+
+from .base import Workload, default_initial_regs
+from .generator import (
+    compute_chain,
+    consume_values,
+    divergent_if,
+    sfu_block,
+    stencil_loads,
+    uniform_loop,
+    wide_expression,
+)
+from .rodinia import RODINIA, make_workload, workload_names
+
+__all__ = [
+    "Workload",
+    "default_initial_regs",
+    "compute_chain",
+    "consume_values",
+    "divergent_if",
+    "sfu_block",
+    "stencil_loads",
+    "uniform_loop",
+    "wide_expression",
+    "RODINIA",
+    "make_workload",
+    "workload_names",
+]

@@ -1,0 +1,73 @@
+"""Workload definition: a kernel plus its dynamic behaviour.
+
+A :class:`Workload` couples a kernel-building function with the oracles that
+drive its branches and loads, the initial register environment (thread ids,
+base pointers), and memory-divergence characteristics.  Workloads are
+registered in :mod:`repro.workloads.registry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..compiler.regalloc import allocate_registers
+from ..isa.kernel import Kernel
+from ..sim.oracle import LoadBehavior, Oracle, PredBehavior
+from ..sim.values import LaneValues, THREAD_ID
+
+__all__ = ["Workload", "default_initial_regs"]
+
+
+def default_initial_regs(warp_id: int) -> Dict[int, LaneValues]:
+    """R0 = global thread id (affine), R1..R3 = uniform base pointers."""
+    return {
+        0: LaneValues.affine(warp_id * 32, 1),
+        1: LaneValues.uniform(0x1000_0000 + warp_id * 4096),
+        2: LaneValues.uniform(0x2000_0000 + warp_id * 4096),
+        3: LaneValues.uniform(0x3000_0000 + warp_id * 4096),
+    }
+
+
+@dataclass
+class Workload:
+    """A benchmark: structure (kernel) + dynamics (oracles)."""
+
+    name: str
+    build: Callable[[], Kernel]
+    pred_behaviors: Dict[str, PredBehavior] = field(default_factory=dict)
+    load_behaviors: Dict[str, LoadBehavior] = field(default_factory=dict)
+    default_load: Optional[LoadBehavior] = None
+    #: distinct cache lines touched by an uncoalesced (RANDOM-address) access.
+    divergent_lines: int = 8
+    seed: int = 1
+    #: optional override of the initial register environment.
+    init_regs: Optional[Callable[[int], Dict[int, LaneValues]]] = None
+    #: short description used in reports.
+    description: str = ""
+    #: apply ptxas-style register allocation to the built kernel (the
+    #: paper's kernels are register-allocated before RegLess compilation).
+    regalloc: bool = True
+
+    _kernel_cache: Optional[Kernel] = field(default=None, repr=False)
+
+    def kernel(self) -> Kernel:
+        if self._kernel_cache is None:
+            k = self.build()
+            if self.regalloc:
+                k = allocate_registers(k)
+            self._kernel_cache = k
+        return self._kernel_cache
+
+    def oracle(self) -> Oracle:
+        return Oracle(
+            seed=self.seed,
+            pred_behaviors=self.pred_behaviors,
+            load_behaviors=self.load_behaviors,
+            default_load=self.default_load,
+        )
+
+    def initial_regs(self, warp_id: int) -> Dict[int, LaneValues]:
+        if self.init_regs is not None:
+            return self.init_regs(warp_id)
+        return default_initial_regs(warp_id)

@@ -1,0 +1,186 @@
+"""Reusable kernel fragments for building synthetic benchmarks.
+
+Each helper emits a small idiomatic GPU code shape into a
+:class:`~repro.isa.builder.KernelBuilder`:
+
+* :func:`compute_chain` — a dependent ALU chain: intermediates die
+  immediately (the "short register lifetime" common case).
+* :func:`wide_expression` — computes many independent subexpressions before
+  collapsing them: peak live-register pressure (dwt2d/myocyte-style).
+* :func:`stencil_loads` — a batch of neighbouring global loads, later
+  consumed together (hotspot/srad-style; loads and uses are separated so
+  the region splitter has work to do).
+* :func:`uniform_loop` / :func:`divergent_if` — control-flow scaffolding
+  wired to workload oracles through instruction tags.
+
+All helpers return the registers holding their results so fragments
+compose.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..isa.builder import KernelBuilder
+from ..isa.opcodes import Opcode
+from ..isa.registers import Pred, Reg
+
+__all__ = [
+    "compute_chain",
+    "wide_expression",
+    "stencil_loads",
+    "consume_values",
+    "uniform_loop",
+    "divergent_if",
+    "sfu_block",
+]
+
+_ALU_ROTATION = (Opcode.IADD, Opcode.IMUL, Opcode.XOR, Opcode.ISUB, Opcode.AND)
+_FALU_ROTATION = (Opcode.FADD, Opcode.FMUL, Opcode.FFMA)
+
+
+def compute_chain(
+    b: KernelBuilder,
+    seed: Reg,
+    length: int,
+    float_ops: bool = False,
+    ilp: int = 2,
+) -> Reg:
+    """``length`` ALU ops forming ``ilp`` interleaved dependent chains that
+    merge at the end.  Real compilers schedule this much instruction-level
+    parallelism into reduction chains, which is what lets a warp dual-issue
+    through them."""
+    ops = _FALU_ROTATION if float_ops else _ALU_ROTATION
+    ilp = max(1, min(ilp, length))
+    accs = [seed] * ilp
+    for i in range(length - (ilp - 1)):
+        nxt = b.fresh()
+        op = ops[i % len(ops)]
+        lane = i % ilp
+        if op is Opcode.FFMA:
+            b.emit(op, [nxt], [accs[lane], accs[lane], seed])
+        else:
+            b.emit(op, [nxt], [accs[lane], i + 1])
+        accs[lane] = nxt
+    acc = accs[0]
+    for other in accs[1:]:
+        nxt = b.fresh()
+        b.emit(Opcode.IADD, [nxt], [acc, other])
+        acc = nxt
+    return acc
+
+
+def wide_expression(
+    b: KernelBuilder,
+    inputs: Sequence[Reg],
+    width: int,
+    depth: int = 2,
+) -> Reg:
+    """``width`` parallel subexpressions, each ``depth`` deep, then a
+    reduction tree — peak pressure is about ``width`` live registers.
+
+    Instructions are emitted breadth-first (layer by layer), the schedule a
+    latency-aware compiler would produce: consecutive instructions are
+    independent, so a single warp can dual-issue through the expression."""
+    leaves: List[Reg] = []
+    for i in range(width):
+        src = inputs[i % len(inputs)]
+        val = b.fresh()
+        b.imad(val, src, i + 3, src)
+        leaves.append(val)
+    for d in range(depth - 1):
+        for i, val in enumerate(leaves):
+            nxt = b.fresh()
+            b.xor(nxt, val, d * 7 + i)
+            leaves[i] = nxt
+    while len(leaves) > 1:
+        merged = []
+        for i in range(0, len(leaves) - 1, 2):
+            out = b.fresh()
+            b.iadd(out, leaves[i], leaves[i + 1])
+            merged.append(out)
+        if len(leaves) % 2:
+            merged.append(leaves[-1])
+        leaves = merged
+    return leaves[0]
+
+
+def stencil_loads(
+    b: KernelBuilder,
+    base: Reg,
+    offsets: Sequence[int],
+    tag: Optional[str] = None,
+) -> List[Reg]:
+    """Load ``len(offsets)`` neighbouring values; returns the value regs.
+    Addresses are affine in the base, so accesses coalesce."""
+    values = []
+    for i, off in enumerate(offsets):
+        addr = b.fresh()
+        b.iadd(addr, base, off * 128)
+        val = b.fresh()
+        b.ldg(val, addr, tag=tag)
+        values.append(val)
+    return values
+
+
+def consume_values(b: KernelBuilder, values: Sequence[Reg]) -> Reg:
+    """Reduce a list of registers into one (kills them all)."""
+    acc = values[0]
+    for v in values[1:]:
+        nxt = b.fresh()
+        b.iadd(nxt, acc, v)
+        acc = nxt
+    return acc
+
+
+def uniform_loop(b: KernelBuilder, tag: str) -> Tuple[str, str, Reg, Pred]:
+    """Open a loop skeleton.  Emits the header block (induction test) and
+    opens the body block; returns ``(header_label, exit_label, induction
+    register, exit predicate)``.  The caller emits the body, then calls
+    ``close_loop``-style code::
+
+        header, exit_lbl, i, p = uniform_loop(b, "outer")
+        ... body ...
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+    """
+    i = b.fresh()
+    b.mov(i, 0)
+    header = b.label()
+    exit_lbl = b.label()
+    b.block_named(header)
+    p = b.fresh_pred()
+    b.setp(p, i, 0x7FFFFFFF, tag=tag)
+    b.bra(exit_lbl, pred=p)
+    b.block()  # loop body begins
+    return header, exit_lbl, i, p
+
+
+def divergent_if(
+    b: KernelBuilder,
+    cond_src: Reg,
+    tag: str,
+) -> Tuple[str, Pred]:
+    """Emit a divergent-if header: ``setp`` + branch over the then-block.
+    Returns ``(join_label, predicate)``; the caller emits the then-block,
+    then opens ``join_label``."""
+    p = b.fresh_pred()
+    b.setp(p, cond_src, 0, tag=tag)
+    join = b.label()
+    b.bra(join, pred=p)
+    b.block()  # then-block begins
+    return join, p
+
+
+def sfu_block(b: KernelBuilder, src: Reg, n: int = 2) -> Reg:
+    """A few special-function ops (transcendental-heavy kernels)."""
+    val = src
+    for i in range(n):
+        nxt = b.fresh()
+        if i % 2 == 0:
+            b.rsq(nxt, val)
+        else:
+            b.ex2(nxt, val)
+        val = nxt
+    return val

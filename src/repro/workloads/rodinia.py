@@ -1,0 +1,877 @@
+"""Synthetic Rodinia suite: 21 kernels, one per benchmark in the paper.
+
+Each kernel is hand-built to match the structural character the paper
+reports for its namesake (Figures 2, 16-19, Table 2):
+
+=================  ==========================================================
+b+tree             pointer-chasing tree descent; small regions, compressible
+backprop           layered stencil + barrier per layer
+bfs                memory-bound frontier loop, tiny regions, divergent loads
+dwt2d              register-heavy wavelet; 20+ live regs, incompressible data
+gaussian           values held live across global loads (paper: slowdown)
+heartwall          deeply divergent control flow, small regions (slowdown)
+hotspot            5-point stencil, register-heavy but compressible
+hybridsort         divergent loop + store-heavy (stores > loads; slowdown)
+kmeans             long uniform loop, small body (paper: speedup)
+lavaMD             long compute regions (longest cycles/region in Table 2)
+leukocyte          SFU-heavy loop (paper: speedup)
+lud                largest regions (16 insns/region in Table 2)
+mummergpu          divergent string matching with random loads
+myocyte            huge straight-line expressions, few loads, 20+ live regs
+nn                 streaming nearest-neighbour (paper: speedup)
+nw                 compute-dense dynamic programming, large regions
+particle_filter    alternating wide/narrow phases (the Figure 5 sawtooth)
+pathfinder         compressible stencil + per-iteration barrier
+srad_v1            stencil + boundary divergence + barrier
+srad_v2            store-heavy stencil variant (stores > loads)
+streamcluster      tiny regions, guarded (soft-definition) updates
+=================  ==========================================================
+
+Loop trip counts are scaled so one simulated run is a few thousand cycles —
+large enough for steady-state behaviour, small enough for a pure-Python
+cycle simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..isa.builder import KernelBuilder
+from ..isa.kernel import Kernel
+from ..sim.oracle import (
+    BernoulliLanes,
+    BernoulliWarp,
+    DivergentLoopExit,
+    LoadBehavior,
+    LoopExit,
+)
+from .base import Workload
+from .generator import (
+    compute_chain,
+    consume_values,
+    divergent_if,
+    sfu_block,
+    stencil_loads,
+    uniform_loop,
+    wide_expression,
+)
+
+__all__ = ["RODINIA", "make_workload", "workload_names"]
+
+
+# ---------------------------------------------------------------------------
+# individual benchmarks
+# ---------------------------------------------------------------------------
+
+
+def _btree() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("b+tree")
+        b.block("entry")
+        tid, keys = b.reg(0), b.reg(1)
+        node = b.fresh()
+        b.mov(node, keys)
+        key = b.fresh()
+        b.iadd(key, tid, 17)
+        header, exit_lbl, level, _ = uniform_loop(b, "descend")
+        # body: load node entry, compare, pick child (pointer chase)
+        entry_val = b.fresh()
+        b.ldg(entry_val, node, tag="node")
+        cmp_t = b.fresh()
+        b.isub(cmp_t, entry_val, key)
+        join, p = divergent_if(b, cmp_t, "go_right")
+        b.iadd(node, node, 128, guard=b.guard(p, negate=True))
+        b.block_named(join)
+        nxt = b.fresh()
+        b.imad(nxt, entry_val, 128, node)
+        b.mov(node, nxt)
+        b.iadd(level, level, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.stg(keys, node)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="b+tree",
+        build=build,
+        pred_behaviors={
+            "descend": LoopExit(trips=14),
+            "go_right": BernoulliLanes(0.5),
+        },
+        load_behaviors={"node": LoadBehavior(uniform_frac=0.30, affine_frac=0.45)},
+        divergent_lines=4,
+        description="pointer-chasing tree descent",
+    )
+
+
+def _backprop() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("backprop")
+        b.block("entry")
+        tid, weights, deltas = b.reg(0), b.reg(1), b.reg(2)
+        base = b.fresh()
+        b.imad(base, tid, 4, weights)
+        header, exit_lbl, layer, _ = uniform_loop(b, "layers")
+        vals = stencil_loads(b, base, [0, 1, 2, 3], tag="weights")
+        acc = wide_expression(b, vals, width=8, depth=2)
+        out = compute_chain(b, acc, 4, float_ops=True)
+        b.stg(deltas, out)
+        b.bar()
+        b.iadd(layer, layer, 1)
+        b.iadd(base, base, 512)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="backprop",
+        build=build,
+        pred_behaviors={"layers": LoopExit(trips=8)},
+        load_behaviors={"weights": LoadBehavior(uniform_frac=0.20, affine_frac=0.45)},
+        divergent_lines=2,
+        description="layered stencil with barriers",
+    )
+
+
+def _bfs() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("bfs")
+        b.block("entry")
+        tid, nodes, frontier = b.reg(0), b.reg(1), b.reg(2)
+        cursor = b.fresh()
+        b.imad(cursor, tid, 4, frontier)
+        header, exit_lbl, i, _ = uniform_loop(b, "frontier")
+        node = b.fresh()
+        b.ldg(node, cursor, tag="graph")
+        join, p = divergent_if(b, node, "visited")
+        edge = b.fresh()
+        b.ldg(edge, node, tag="graph", guard=b.guard(p, negate=True))
+        b.stg(frontier, edge, guard=b.guard(p, negate=True))
+        b.block_named(join)
+        b.iadd(cursor, cursor, 128)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="bfs",
+        build=build,
+        pred_behaviors={
+            "frontier": LoopExit(trips=12),
+            "visited": BernoulliLanes(0.45),
+        },
+        load_behaviors={"graph": LoadBehavior(uniform_frac=0.05, affine_frac=0.15)},
+        divergent_lines=16,
+        description="memory-bound graph frontier loop",
+    )
+
+
+def _dwt2d() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("dwt2d")
+        b.block("entry")
+        tid, image, coeffs = b.reg(0), b.reg(1), b.reg(2)
+        row = b.fresh()
+        b.imad(row, tid, 4, image)
+        header, exit_lbl, i, _ = uniform_loop(b, "rows")
+        taps = stencil_loads(b, row, [0, 1, 2, 3, 4, 5], tag="pixels")
+        lo = wide_expression(b, taps[:3], width=10, depth=2)
+        hi = wide_expression(b, taps[3:], width=10, depth=2)
+        both = consume_values(b, [lo, hi])
+        out = compute_chain(b, both, 6, float_ops=True)
+        b.stg(coeffs, out)
+        b.stg(coeffs, both)
+        b.iadd(row, row, 1024)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="dwt2d",
+        build=build,
+        pred_behaviors={"rows": LoopExit(trips=6)},
+        load_behaviors={"pixels": LoadBehavior(uniform_frac=0.03, affine_frac=0.07)},
+        divergent_lines=4,
+        description="register-heavy wavelet, incompressible data",
+    )
+
+
+def _gaussian() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("gaussian")
+        b.block("entry")
+        tid, matrix, pivot = b.reg(0), b.reg(1), b.reg(2)
+        rowp = b.fresh()
+        b.imad(rowp, tid, 4, matrix)
+        header, exit_lbl, i, _ = uniform_loop(b, "eliminate")
+        # Values stay live across subsequent global loads (the paper's noted
+        # pathology: fewer chances to schedule consecutive regions, since
+        # every region boundary sits on a load with a fat live set).
+        partials = []
+        addr = rowp
+        for step in range(4):
+            v = b.fresh()
+            b.ldg(v, addr, tag="mat")
+            psum = b.fresh()
+            b.imad(psum, v, 3 + step, partials[-1] if partials else v)
+            partials.append(psum)  # all partials stay live across the
+            nxt = b.fresh()        # remaining loads of this iteration
+            b.iadd(nxt, addr, 256 * (step + 1))
+            addr = nxt
+        out = consume_values(b, partials)
+        res = compute_chain(b, out, 5, float_ops=True)
+        b.stg(pivot, res)
+        b.iadd(rowp, rowp, 2048)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="gaussian",
+        build=build,
+        pred_behaviors={"eliminate": LoopExit(trips=16)},
+        load_behaviors={"mat": LoadBehavior(uniform_frac=0.10, affine_frac=0.25)},
+        divergent_lines=2,
+        description="registers live across chained global loads",
+    )
+
+
+def _heartwall() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("heartwall")
+        b.block("entry")
+        tid, frames = b.reg(0), b.reg(1)
+        ptr = b.fresh()
+        b.imad(ptr, tid, 4, frames)
+        acc = b.fresh()
+        b.mov(acc, 0)
+        header, exit_lbl, i, _ = uniform_loop(b, "track")
+        sample = b.fresh()
+        b.ldg(sample, ptr, tag="frame")
+        join1, p1 = divergent_if(b, sample, "edge")
+        t1 = b.fresh()
+        b.imad(t1, sample, 3, acc, guard=b.guard(p1, negate=True))
+        b.mov(acc, t1, guard=b.guard(p1, negate=True))
+        b.block_named(join1)
+        join2, p2 = divergent_if(b, acc, "refine")
+        t2 = b.fresh()
+        b.xor(t2, acc, 0x55, guard=b.guard(p2, negate=True))
+        b.mov(acc, t2, guard=b.guard(p2, negate=True))
+        b.block_named(join2)
+        b.iadd(ptr, ptr, 128)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.stg(frames, acc)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="heartwall",
+        build=build,
+        pred_behaviors={
+            "track": LoopExit(trips=18),
+            "edge": BernoulliLanes(0.5),
+            "refine": BernoulliLanes(0.35),
+        },
+        load_behaviors={"frame": LoadBehavior(uniform_frac=0.10, affine_frac=0.25)},
+        divergent_lines=8,
+        description="deeply divergent tracking loop",
+    )
+
+
+def _hotspot() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("hotspot")
+        b.block("entry")
+        tid, temp, power = b.reg(0), b.reg(1), b.reg(2)
+        cell = b.fresh()
+        b.imad(cell, tid, 4, temp)
+        # prologue loads the first stencil; each iteration prefetches the
+        # next step's neighbourhood while updating the current cell
+        taps = stencil_loads(b, cell, [0, -1, 1, -16, 16], tag="grid")
+        header, exit_lbl, i, _ = uniform_loop(b, "steps")
+        nxt = stencil_loads(b, cell, [32, 31, 33, 16, 48], tag="grid")
+        mixed = wide_expression(b, taps, width=18, depth=2)
+        out = compute_chain(b, mixed, 5, float_ops=True)
+        b.stg(cell, out)
+        for old, new in zip(taps, nxt):
+            b.mov(old, new)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="hotspot",
+        build=build,
+        pred_behaviors={"steps": LoopExit(trips=10)},
+        load_behaviors={"grid": LoadBehavior(uniform_frac=0.30, affine_frac=0.50)},
+        divergent_lines=2,
+        description="5-point stencil, compressible temperatures",
+    )
+
+
+def _hybridsort() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("hybridsort")
+        b.block("entry")
+        tid, data, buckets = b.reg(0), b.reg(1), b.reg(2)
+        ptr = b.fresh()
+        b.imad(ptr, tid, 4, data)
+        header, exit_lbl, i, _ = uniform_loop(b, "sort")
+        v = b.fresh()
+        b.ldg(v, ptr, tag="keys")
+        join, p = divergent_if(b, v, "bucket")
+        # store-heavy path: scatter the value and a tag (stores > loads)
+        slot = b.fresh()
+        b.imad(slot, v, 128, buckets, guard=b.guard(p, negate=True))
+        b.stg(slot, v, guard=b.guard(p, negate=True))
+        b.stg(buckets, slot, guard=b.guard(p, negate=True))
+        b.block_named(join)
+        b.stg(ptr, v)
+        b.iadd(ptr, ptr, 128)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="hybridsort",
+        build=build,
+        pred_behaviors={
+            "sort": LoopExit(trips=14),
+            "bucket": BernoulliLanes(0.5),
+        },
+        load_behaviors={"keys": LoadBehavior(uniform_frac=0.08, affine_frac=0.22)},
+        divergent_lines=8,
+        description="divergent bucketing, store-heavy",
+    )
+
+
+def _kmeans() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("kmeans")
+        b.block("entry")
+        tid, points, centers = b.reg(0), b.reg(1), b.reg(2)
+        ptr = b.fresh()
+        b.imad(ptr, tid, 4, points)
+        best = b.fresh()
+        b.mov(best, 0x7FFFFFF)
+        header, exit_lbl, i, _ = uniform_loop(b, "points")
+        x = b.fresh()
+        b.ldg(x, ptr, tag="pts")
+        d = compute_chain(b, x, 6, float_ops=True)
+        b.imin(best, best, d)
+        b.iadd(ptr, ptr, 128)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.stg(centers, best)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="kmeans",
+        build=build,
+        pred_behaviors={"points": LoopExit(trips=36)},
+        load_behaviors={"pts": LoadBehavior(uniform_frac=0.15, affine_frac=0.40)},
+        divergent_lines=2,
+        description="long uniform distance loop",
+    )
+
+
+def _lavamd() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("lavaMD")
+        b.block("entry")
+        tid, particles = b.reg(0), b.reg(1)
+        box = b.fresh()
+        b.imad(box, tid, 4, particles)
+        o_header, o_exit, oi, _ = uniform_loop(b, "boxes")
+        pos = stencil_loads(b, box, [0, 1], tag="pos")
+        i_header, i_exit, ii, _ = uniform_loop(b, "neighbors")
+        force = wide_expression(b, pos, width=14, depth=2)
+        f2 = sfu_block(b, force, 2)
+        mixed = consume_values(b, [f2, pos[0]])
+        out = compute_chain(b, mixed, 8, float_ops=True)
+        b.stg(box, out)
+        b.iadd(ii, ii, 1)
+        b.bra(i_header)
+        b.block_named(i_exit)
+        b.iadd(box, box, 512)
+        b.iadd(oi, oi, 1)
+        b.bra(o_header)
+        b.block_named(o_exit)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="lavaMD",
+        build=build,
+        pred_behaviors={
+            "boxes": LoopExit(trips=4),
+            "neighbors": LoopExit(trips=8),
+        },
+        load_behaviors={"pos": LoadBehavior(uniform_frac=0.12, affine_frac=0.33)},
+        divergent_lines=2,
+        description="long compute regions, nested n-body loops",
+    )
+
+
+def _leukocyte() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("leukocyte")
+        b.block("entry")
+        tid, img = b.reg(0), b.reg(1)
+        ptr = b.fresh()
+        b.imad(ptr, tid, 4, img)
+        header, exit_lbl, i, _ = uniform_loop(b, "cells")
+        taps = stencil_loads(b, ptr, [0, 1, 16], tag="img")
+        g = consume_values(b, taps)
+        s = sfu_block(b, g, 3)
+        out = compute_chain(b, s, 6, float_ops=True)
+        b.stg(ptr, out)
+        b.iadd(ptr, ptr, 256)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="leukocyte",
+        build=build,
+        pred_behaviors={"cells": LoopExit(trips=18)},
+        load_behaviors={"img": LoadBehavior(uniform_frac=0.15, affine_frac=0.35)},
+        divergent_lines=2,
+        description="SFU-heavy cell detection",
+    )
+
+
+def _lud() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("lud")
+        b.block("entry")
+        tid, matrix = b.reg(0), b.reg(1)
+        ptr = b.fresh()
+        b.imad(ptr, tid, 4, matrix)
+        # software-pipelined: the next row's diagonal is loaded while the
+        # current row is factored, so the load latency hides under compute
+        diag = b.fresh()
+        b.ldg(diag, ptr, tag="mat")
+        header, exit_lbl, i, _ = uniform_loop(b, "factor")
+        nxt_ptr = b.fresh()
+        b.iadd(nxt_ptr, ptr, 512)
+        nxt_diag = b.fresh()
+        b.ldg(nxt_diag, nxt_ptr, tag="mat")
+        # long straight-line factorization: the biggest regions in Table 2
+        w = wide_expression(b, [diag], width=12, depth=3)
+        chain = compute_chain(b, w, 18, float_ops=True)
+        b.stg(ptr, chain)
+        b.mov(ptr, nxt_ptr)
+        b.mov(diag, nxt_diag)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="lud",
+        build=build,
+        pred_behaviors={"factor": LoopExit(trips=8)},
+        load_behaviors={"mat": LoadBehavior(uniform_frac=0.12, affine_frac=0.30)},
+        divergent_lines=2,
+        description="compute-dense factorization, largest regions",
+    )
+
+
+def _mummergpu() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("mummergpu")
+        b.block("entry")
+        tid, tree, queries = b.reg(0), b.reg(1), b.reg(2)
+        node = b.fresh()
+        b.imad(node, tid, 4, tree)
+        header, exit_lbl, i, p_exit = uniform_loop(b, "match")
+        ch = b.fresh()
+        b.ldg(ch, node, tag="suffix")
+        join, p = divergent_if(b, ch, "mismatch")
+        nxt = b.fresh()
+        b.imad(nxt, ch, 128, tree, guard=b.guard(p, negate=True))
+        b.mov(node, nxt, guard=b.guard(p, negate=True))
+        b.block_named(join)
+        t = b.fresh()
+        b.and_(t, ch, 0xFF)
+        b.iadd(node, node, t)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.stg(queries, node)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="mummergpu",
+        build=build,
+        pred_behaviors={
+            "match": DivergentLoopExit(min_trips=6, max_trips=14),
+            "mismatch": BernoulliLanes(0.4),
+        },
+        load_behaviors={"suffix": LoadBehavior(uniform_frac=0.05, affine_frac=0.15)},
+        divergent_lines=12,
+        description="divergent suffix-tree matching",
+    )
+
+
+def _myocyte() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("myocyte")
+        b.block("entry")
+        tid, state = b.reg(0), b.reg(1)
+        y = b.fresh()
+        b.iadd(y, tid, 11)
+        header, exit_lbl, i, _ = uniform_loop(b, "ode")
+        # three evaluation phases per step: each is wide (liveness peak)
+        # then collapses through the SFU pipe (liveness trough)
+        k1 = wide_expression(b, [y], width=14, depth=2)
+        k1 = sfu_block(b, k1, 1)
+        k2 = wide_expression(b, [k1, y], width=14, depth=2)
+        k2 = sfu_block(b, k2, 1)
+        k3 = wide_expression(b, [k2, y], width=14, depth=2)
+        s_ = sfu_block(b, k3, 2)
+        y2 = compute_chain(b, s_, 8, float_ops=True)
+        b.mov(y, y2)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.stg(state, y)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="myocyte",
+        build=build,
+        pred_behaviors={"ode": LoopExit(trips=7)},
+        divergent_lines=2,
+        description="huge ODE expressions, 20+ live registers",
+    )
+
+
+def _nn() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("nn")
+        b.block("entry")
+        tid, records, target = b.reg(0), b.reg(1), b.reg(2)
+        ptr = b.fresh()
+        b.imad(ptr, tid, 4, records)
+        best = b.fresh()
+        b.mov(best, 0x7FFFFFF)
+        header, exit_lbl, i, _ = uniform_loop(b, "records")
+        lat = b.fresh()
+        b.ldg(lat, ptr, tag="rec")
+        lng = b.fresh()
+        addr2 = b.fresh()
+        b.iadd(addr2, ptr, 128)
+        b.ldg(lng, addr2, tag="rec")
+        d1 = b.fresh()
+        b.isub(d1, lat, target)
+        d2 = b.fresh()
+        b.isub(d2, lng, target)
+        dist = b.fresh()
+        b.imad(dist, d1, d1, d2)
+        b.imin(best, best, dist)
+        b.iadd(ptr, ptr, 256)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.stg(records, best)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="nn",
+        build=build,
+        pred_behaviors={"records": LoopExit(trips=28)},
+        load_behaviors={"rec": LoadBehavior(uniform_frac=0.20, affine_frac=0.40)},
+        divergent_lines=2,
+        description="streaming nearest neighbour",
+    )
+
+
+def _nw() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("nw")
+        b.block("entry")
+        tid, score = b.reg(0), b.reg(1)
+        cell = b.fresh()
+        b.imad(cell, tid, 4, score)
+        west = b.fresh()
+        b.ldg(west, cell, tag="score")
+        header, exit_lbl, i, _ = uniform_loop(b, "antidiag")
+        taps = stencil_loads(b, cell, [-1, -16], tag="score")
+        nxt_west = b.fresh()
+        nxt_addr = b.fresh()
+        b.iadd(nxt_addr, cell, 2048)
+        b.ldg(nxt_west, nxt_addr, tag="score")
+        m = consume_values(b, [west] + taps)
+        chain = compute_chain(b, m, 18)
+        mx = b.fresh()
+        b.imax(mx, chain, west)
+        b.stg(cell, mx)
+        b.mov(west, nxt_west)
+        b.mov(cell, nxt_addr)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="nw",
+        build=build,
+        pred_behaviors={"antidiag": LoopExit(trips=12)},
+        load_behaviors={"score": LoadBehavior(uniform_frac=0.15, affine_frac=0.40)},
+        divergent_lines=2,
+        description="dense dynamic-programming wavefront",
+    )
+
+
+def _particle_filter() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("particle_filter")
+        b.block("entry")
+        tid, particles = b.reg(0), b.reg(1)
+        ptr = b.fresh()
+        b.imad(ptr, tid, 4, particles)
+        header, exit_lbl, i, _ = uniform_loop(b, "steps")
+        # phase 1: wide likelihood expression (liveness peak)
+        obs = b.fresh()
+        b.ldg(obs, ptr, tag="obs")
+        w1 = wide_expression(b, [obs], width=10, depth=2)
+        # phase 2: narrow normalization chain (liveness trough - the seams
+        # highlighted in Figure 5)
+        n1 = compute_chain(b, w1, 6, float_ops=True)
+        # phase 3: second peak (resampling weights)
+        w2 = wide_expression(b, [n1, obs], width=9, depth=2)
+        n2 = compute_chain(b, w2, 5)
+        join, p = divergent_if(b, n2, "resample")
+        b.stg(ptr, n2, guard=b.guard(p, negate=True))
+        b.block_named(join)
+        b.iadd(ptr, ptr, 128)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="particle_filter",
+        build=build,
+        pred_behaviors={
+            "steps": LoopExit(trips=8),
+            "resample": BernoulliLanes(0.5),
+        },
+        load_behaviors={"obs": LoadBehavior(uniform_frac=0.10, affine_frac=0.30)},
+        divergent_lines=4,
+        description="alternating wide/narrow phases (Figure 5)",
+    )
+
+
+def _pathfinder() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("pathfinder")
+        b.block("entry")
+        tid, grid = b.reg(0), b.reg(1)
+        cell = b.fresh()
+        b.imad(cell, tid, 4, grid)
+        header, exit_lbl, i, _ = uniform_loop(b, "rows")
+        taps = stencil_loads(b, cell, [-1, 0, 1], tag="cost")
+        lo = b.fresh()
+        b.imin(lo, taps[0], taps[1])
+        lo2 = b.fresh()
+        b.imin(lo2, lo, taps[2])
+        out = compute_chain(b, lo2, 4)
+        b.stg(cell, out)
+        b.bar()
+        b.iadd(cell, cell, 1024)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="pathfinder",
+        build=build,
+        pred_behaviors={"rows": LoopExit(trips=14)},
+        load_behaviors={"cost": LoadBehavior(uniform_frac=0.35, affine_frac=0.45)},
+        divergent_lines=2,
+        description="row-wise min stencil with barriers",
+    )
+
+
+def _srad_v1() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("srad_v1")
+        b.block("entry")
+        tid, img = b.reg(0), b.reg(1)
+        cell = b.fresh()
+        b.imad(cell, tid, 4, img)
+        header, exit_lbl, i, _ = uniform_loop(b, "iters")
+        taps = stencil_loads(b, cell, [0, -1, 1, -16], tag="img")
+        g = wide_expression(b, taps, width=10, depth=2)
+        join, p = divergent_if(b, g, "boundary")
+        t = b.fresh()
+        b.shr(t, g, 2, guard=b.guard(p, negate=True))
+        b.stg(cell, t, guard=b.guard(p, negate=True))
+        b.block_named(join)
+        out = compute_chain(b, g, 5, float_ops=True)
+        b.stg(cell, out)
+        b.bar()
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="srad_v1",
+        build=build,
+        pred_behaviors={
+            "iters": LoopExit(trips=8),
+            "boundary": BernoulliWarp(0.25),
+        },
+        load_behaviors={"img": LoadBehavior(uniform_frac=0.18, affine_frac=0.40)},
+        divergent_lines=2,
+        description="diffusion stencil with boundary divergence",
+    )
+
+
+def _srad_v2() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("srad_v2")
+        b.block("entry")
+        tid, img = b.reg(0), b.reg(1)
+        cell = b.fresh()
+        b.imad(cell, tid, 4, img)
+        header, exit_lbl, i, _ = uniform_loop(b, "iters")
+        taps = stencil_loads(b, cell, [0, 16], tag="img")
+        g = consume_values(b, taps)
+        c1 = compute_chain(b, g, 7, float_ops=True)
+        # store-heavy: three result planes per iteration (stores > loads)
+        b.stg(cell, c1)
+        off = b.fresh()
+        b.iadd(off, cell, 4096)
+        b.stg(off, g)
+        off2 = b.fresh()
+        b.iadd(off2, cell, 8192)
+        b.stg(off2, c1)
+        b.iadd(cell, cell, 1024)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="srad_v2",
+        build=build,
+        pred_behaviors={"iters": LoopExit(trips=10)},
+        load_behaviors={"img": LoadBehavior(uniform_frac=0.15, affine_frac=0.35)},
+        divergent_lines=2,
+        description="store-heavy diffusion variant",
+    )
+
+
+def _streamcluster() -> Workload:
+    def build() -> Kernel:
+        b = KernelBuilder("streamcluster")
+        b.block("entry")
+        tid, pts = b.reg(0), b.reg(1)
+        ptr = b.fresh()
+        b.imad(ptr, tid, 4, pts)
+        assign = b.fresh()
+        b.mov(assign, 0)
+        header, exit_lbl, i, _ = uniform_loop(b, "medians")
+        x = b.fresh()
+        b.ldg(x, ptr, tag="pts")
+        d = b.fresh()
+        b.imad(d, x, x, i)
+        p = b.fresh_pred()
+        b.setp(p, d, 100, tag="closer")
+        # guarded (soft-definition) update: only closer lanes reassign
+        b.mov(assign, d, guard=b.guard(p))
+        b.iadd(ptr, ptr, 128)
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.stg(pts, assign)
+        b.exit()
+        return b.build()
+
+    return Workload(
+        name="streamcluster",
+        build=build,
+        pred_behaviors={
+            "medians": LoopExit(trips=24),
+            "closer": BernoulliLanes(0.3),
+        },
+        load_behaviors={"pts": LoadBehavior(uniform_frac=0.20, affine_frac=0.40)},
+        divergent_lines=2,
+        description="tiny regions, guarded soft-definition updates",
+    )
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+RODINIA: Dict[str, callable] = {
+    "b+tree": _btree,
+    "backprop": _backprop,
+    "bfs": _bfs,
+    "dwt2d": _dwt2d,
+    "gaussian": _gaussian,
+    "heartwall": _heartwall,
+    "hotspot": _hotspot,
+    "hybridsort": _hybridsort,
+    "kmeans": _kmeans,
+    "lavaMD": _lavamd,
+    "leukocyte": _leukocyte,
+    "lud": _lud,
+    "mummergpu": _mummergpu,
+    "myocyte": _myocyte,
+    "nn": _nn,
+    "nw": _nw,
+    "particle_filter": _particle_filter,
+    "pathfinder": _pathfinder,
+    "srad_v1": _srad_v1,
+    "srad_v2": _srad_v2,
+    "streamcluster": _streamcluster,
+}
+
+
+def make_workload(name: str) -> Workload:
+    """Build one benchmark by name."""
+    try:
+        return RODINIA[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {', '.join(RODINIA)}"
+        ) from None
+
+
+def workload_names() -> list:
+    return list(RODINIA)

@@ -1,0 +1,161 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import dominator_tree, postdominator_tree
+from repro.compiler.domtree import VIRTUAL_EXIT
+from repro.isa import BasicBlock, Instruction, Kernel, Opcode, Pred, PredGuard, Reg, Imm
+
+
+def mov():
+    return Instruction(Opcode.MOV, (Reg(0),), (Imm(0),))
+
+
+def cbra(target):
+    return Instruction(Opcode.BRA, guard=PredGuard(Pred(0)), target=target)
+
+
+def bra(target):
+    return Instruction(Opcode.BRA, target=target)
+
+
+def exit_():
+    return Instruction(Opcode.EXIT)
+
+
+def diamond():
+    return Kernel(
+        "d",
+        [
+            BasicBlock("a", [cbra("c")]),
+            BasicBlock("b", [mov()]),
+            BasicBlock("c", [mov()]),
+            BasicBlock("d", [exit_()]),
+        ],
+    )
+    # a -> {b, c}; b -> c (fallthrough); c -> d
+
+
+def loop():
+    return Kernel(
+        "l",
+        [
+            BasicBlock("entry", [mov()]),
+            BasicBlock("header", [cbra("done")]),
+            BasicBlock("body", [mov(), bra("header")]),
+            BasicBlock("done", [exit_()]),
+        ],
+    )
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        dom = dominator_tree(diamond())
+        for label in ("a", "b", "c", "d"):
+            assert dom.dominates("a", label)
+
+    def test_diamond_idoms(self):
+        dom = dominator_tree(diamond())
+        assert dom.idom("b") == "a"
+        assert dom.idom("c") == "a"
+        assert dom.idom("d") == "c"
+        assert dom.idom("a") is None
+
+    def test_branch_sides_do_not_dominate_each_other(self):
+        dom = dominator_tree(diamond())
+        assert not dom.dominates("b", "c")
+
+    def test_loop_idoms(self):
+        dom = dominator_tree(loop())
+        assert dom.idom("header") == "entry"
+        assert dom.idom("body") == "header"
+        assert dom.idom("done") == "header"
+
+    def test_self_domination(self):
+        dom = dominator_tree(loop())
+        assert dom.dominates("body", "body")
+        assert not dom.strictly_dominates("body", "body")
+
+    def test_strict_dominators(self):
+        dom = dominator_tree(loop())
+        assert dom.strict_dominators("body") == {"entry", "header"}
+
+
+class TestPostdominators:
+    def test_exit_postdominates_all(self):
+        pdom = postdominator_tree(diamond())
+        for label in ("a", "b", "c"):
+            assert pdom.dominates("d", label)
+
+    def test_diamond_reconvergence(self):
+        # c postdominates a (both paths pass through c).
+        pdom = postdominator_tree(diamond())
+        assert pdom.dominates("c", "a")
+
+    def test_loop_postdominators(self):
+        pdom = postdominator_tree(loop())
+        assert pdom.idom("body") == "header"
+        assert pdom.dominates("done", "entry")
+
+    def test_multiple_exits_use_virtual_node(self):
+        k = Kernel(
+            "m",
+            [
+                BasicBlock("a", [cbra("y")]),
+                BasicBlock("x", [exit_()]),
+                BasicBlock("y", [exit_()]),
+            ],
+        )
+        pdom = postdominator_tree(k)
+        assert pdom.root == VIRTUAL_EXIT
+        assert pdom.idom("x") == VIRTUAL_EXIT
+        # No real block postdominates `a`.
+        assert pdom.dominators("a") & {"x", "y"} == set()
+
+
+@st.composite
+def random_cfg(draw):
+    """Random small reducible-ish CFG as a Kernel."""
+    n = draw(st.integers(min_value=2, max_value=8))
+    labels = [f"b{i}" for i in range(n)]
+    blocks = []
+    for i, label in enumerate(labels):
+        insns = [mov()]
+        if i == n - 1:
+            insns.append(exit_())
+        else:
+            kind = draw(st.integers(min_value=0, max_value=2))
+            if kind == 1:  # conditional branch to a random target
+                target = labels[draw(st.integers(min_value=0, max_value=n - 1))]
+                insns.append(cbra(target))
+            elif kind == 2:  # unconditional forward branch
+                target = labels[draw(st.integers(min_value=i + 1, max_value=n - 1))]
+                insns.append(bra(target))
+        blocks.append(BasicBlock(label, insns))
+    return Kernel("rand", blocks)
+
+
+class TestDominatorProperties:
+    @given(random_cfg())
+    @settings(max_examples=60, deadline=None)
+    def test_idom_strictly_dominates(self, kernel):
+        dom = dominator_tree(kernel)
+        for label in dom.nodes:
+            idom = dom.idom(label)
+            if idom is not None:
+                assert dom.strictly_dominates(idom, label)
+
+    @given(random_cfg())
+    @settings(max_examples=60, deadline=None)
+    def test_dominance_is_transitive_on_chain(self, kernel):
+        dom = dominator_tree(kernel)
+        for label in dom.nodes:
+            doms = dom.dominators(label)
+            for d in doms:
+                assert dom.dominators(d) <= doms
+
+    @given(random_cfg())
+    @settings(max_examples=60, deadline=None)
+    def test_entry_in_every_dominator_set(self, kernel):
+        dom = dominator_tree(kernel)
+        for label in dom.nodes:
+            assert kernel.entry in dom.dominators(label)

@@ -1,0 +1,87 @@
+"""Dominator-tree edge cases beyond the main domtree tests."""
+
+from repro.compiler import dominator_tree, postdominator_tree
+from repro.isa import BasicBlock, Imm, Instruction, Kernel, Opcode, Pred, PredGuard, Reg
+
+
+def mov():
+    return Instruction(Opcode.MOV, (Reg(0),), (Imm(0),))
+
+
+def cbra(target):
+    return Instruction(Opcode.BRA, guard=PredGuard(Pred(0)), target=target)
+
+
+def bra(target):
+    return Instruction(Opcode.BRA, target=target)
+
+
+def exit_():
+    return Instruction(Opcode.EXIT)
+
+
+class TestSingleBlock:
+    def test_trivial_kernel(self):
+        k = Kernel("t", [BasicBlock("entry", [exit_()])])
+        dom = dominator_tree(k)
+        assert dom.idom("entry") is None
+        assert dom.dominators("entry") == {"entry"}
+        pdom = postdominator_tree(k)
+        assert pdom.dominates("entry", "entry")
+
+
+class TestUnreachable:
+    def test_unreachable_block_absent_from_tree(self):
+        k = Kernel("u", [
+            BasicBlock("entry", [exit_()]),
+            BasicBlock("orphan", [exit_()]),
+        ])
+        dom = dominator_tree(k)
+        assert "orphan" not in dom
+        assert "entry" in dom
+
+
+class TestInfiniteLoop:
+    def test_loop_with_no_exit_has_no_postdominators(self):
+        k = Kernel("inf", [
+            BasicBlock("entry", [mov()]),
+            BasicBlock("spin", [mov(), bra("spin")]),
+        ])
+        pdom = postdominator_tree(k)
+        # `spin` cannot reach any exit; it is outside the pdom tree.
+        assert "spin" not in pdom or pdom.idom("spin") in (None, "spin")
+
+
+class TestNestedStructures:
+    def make_nested(self):
+        # entry -> outer_hdr -> (exit | inner_hdr)
+        # inner_hdr -> (outer_latch | body); body -> inner_hdr
+        # outer_latch -> outer_hdr; done: exit
+        return Kernel("n", [
+            BasicBlock("entry", [mov()]),
+            BasicBlock("outer_hdr", [cbra("done")]),
+            BasicBlock("inner_hdr", [cbra("outer_latch")]),
+            BasicBlock("body", [mov(), bra("inner_hdr")]),
+            BasicBlock("outer_latch", [bra("outer_hdr")]),
+            BasicBlock("done", [exit_()]),
+        ])
+
+    def test_nested_loop_dominators(self):
+        dom = dominator_tree(self.make_nested())
+        assert dom.idom("inner_hdr") == "outer_hdr"
+        assert dom.idom("body") == "inner_hdr"
+        assert dom.idom("outer_latch") == "inner_hdr"
+        assert dom.idom("done") == "outer_hdr"
+
+    def test_nested_loop_postdominators(self):
+        pdom = postdominator_tree(self.make_nested())
+        assert pdom.dominates("done", "entry")
+        assert pdom.dominates("outer_hdr", "outer_latch")
+        # body always returns through inner_hdr.
+        assert pdom.dominates("inner_hdr", "body")
+
+    def test_nodes_listing(self):
+        dom = dominator_tree(self.make_nested())
+        assert set(dom.nodes) == {
+            "entry", "outer_hdr", "inner_hdr", "body", "outer_latch", "done"
+        }

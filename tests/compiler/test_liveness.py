@@ -1,0 +1,122 @@
+from repro.compiler import analyze_liveness
+from repro.isa import KernelBuilder, Reg
+
+
+def test_straightline_liveness(straightline_kernel):
+    lv = analyze_liveness(straightline_kernel)
+    # R0 (tid) is live-in at entry, consumed by the first add.
+    assert Reg(0) in lv.live_in["entry"]
+    # t3 is live right until the store.
+    counts = lv.live_counts()
+    assert counts[0] >= 2  # tid + out pointer
+
+
+def test_loop_carried_value_live_around_backedge(loop_kernel):
+    lv = analyze_liveness(loop_kernel)
+    # acc is read and written in the body and consumed after the loop:
+    # it must be live at the loop header.
+    header = loop_kernel.blocks[1].label
+    acc = Reg(4)
+    assert acc in lv.live_in[header]
+    assert acc in lv.live_out["body"]
+
+
+def test_dead_after_last_use(loop_kernel):
+    lv = analyze_liveness(loop_kernel)
+    # The loaded value v is consumed inside the body and never escapes.
+    body_pcs = list(loop_kernel.pcs_of_block("body"))
+    last = body_pcs[-1]
+    v = Reg(6)
+    assert v not in lv.live_after[last]
+
+
+class TestSoftDefinitions:
+    def test_guarded_write_is_soft(self):
+        b = KernelBuilder("g")
+        b.block("entry")
+        x = b.fresh()
+        b.mov(x, 1)
+        p = b.fresh_pred()
+        b.setp(p, b.reg(0), 0)
+        b.mov(x, 2, guard=b.guard(p))
+        b.stg(b.reg(1), x)
+        b.exit()
+        k = b.build()
+        lv = analyze_liveness(k)
+        guarded_pc = 2
+        assert lv.is_soft_def(guarded_pc, x)
+
+    def test_divergent_redefinition_is_soft(self, diamond_kernel):
+        # x is written in `then` under divergent control while the entry
+        # definition's value flows along the `else_` edge: Figure 7.
+        lv = analyze_liveness(diamond_kernel)
+        k = diamond_kernel
+        then_pc = k.block_start_pc("then")
+        x = k.insn_at(then_pc).reg_dsts[0]
+        assert lv.is_soft_def(then_pc, x)
+
+    def test_soft_def_does_not_kill(self, diamond_kernel):
+        lv = analyze_liveness(diamond_kernel)
+        k = diamond_kernel
+        # Because the `then` write is soft, x stays live *into* then.
+        then_pc = k.block_start_pc("then")
+        x = k.insn_at(then_pc).reg_dsts[0]
+        assert x in lv.live_in["then"]
+
+    def test_dominating_full_write_is_hard(self):
+        b = KernelBuilder("h")
+        b.block("entry")
+        x = b.fresh()
+        b.mov(x, 1)  # first def
+        b.mov(x, 2)  # full redefinition, same block: hard
+        b.stg(b.reg(0), x)
+        b.exit()
+        k = b.build()
+        lv = analyze_liveness(k)
+        assert not lv.is_soft_def(1, x)
+        # The first value dies at the redefinition.
+        assert x not in lv.live_before[1]
+
+
+class TestPerPC:
+    def test_before_after_relation(self, loop_kernel):
+        lv = analyze_liveness(loop_kernel)
+        for pc, _, insn in loop_kernel.iter_pcs():
+            # Everything read must be live before.
+            for r in insn.reg_srcs:
+                assert r in lv.live_before[pc]
+
+    def test_live_counts_length(self, loop_kernel):
+        lv = analyze_liveness(loop_kernel)
+        assert len(lv.live_counts()) == loop_kernel.num_instructions
+
+    def test_max_live_bounds(self, loop_kernel):
+        lv = analyze_liveness(loop_kernel)
+        assert lv.max_live() == max(lv.live_counts())
+
+    def test_live_on_edge(self, loop_kernel):
+        lv = analyze_liveness(loop_kernel)
+        header = loop_kernel.blocks[1].label
+        edge = lv.live_on_edge("body", header)
+        assert edge == lv.live_in[header]
+
+    def test_live_on_missing_edge_raises(self, loop_kernel):
+        import pytest
+        lv = analyze_liveness(loop_kernel)
+        with pytest.raises(ValueError):
+            lv.live_on_edge("entry", "body")
+
+
+class TestDeathMap:
+    def test_every_reg_dies_somewhere(self, loop_kernel):
+        lv = analyze_liveness(loop_kernel)
+        deaths = lv.death_map()
+        dead_regs = {r for regs in deaths.values() for r in regs}
+        # Values written in the body die in the body (v, t, addr).
+        assert Reg(5) in dead_regs or Reg(6) in dead_regs
+
+    def test_deaths_consistent_with_liveness(self, loop_kernel):
+        lv = analyze_liveness(loop_kernel)
+        for pc, regs in lv.death_map().items():
+            for r in regs:
+                assert r not in lv.live_after[pc]

@@ -1,0 +1,66 @@
+import pytest
+
+from repro.compiler import compile_kernel, encode_region_metadata, metadata_overhead
+from repro.compiler.metadata import (
+    BANK_USAGE_BITS,
+    EVENT_BITS,
+    METADATA_BITS_PER_INSN,
+    MetadataWord,
+)
+
+
+class TestMetadataWord:
+    def test_within_budget(self):
+        MetadataWord("flag", METADATA_BITS_PER_INSN)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataWord("flag", METADATA_BITS_PER_INSN + 1)
+
+
+class TestEncoding:
+    def test_compact_for_small_region(self, compiled_loop):
+        small = [
+            (r, a)
+            for r, a in zip(compiled_loop.regions, compiled_loop.annotations)
+            if r.num_insns <= 4 and len(a.preloads) + len(a.cache_invalidates) <= 2
+        ]
+        for region, ann in small:
+            words = encode_region_metadata(ann, region.num_insns)
+            assert len(words) == 1
+            assert words[0].kind == "compact"
+
+    def test_flag_word_first_for_large_region(self):
+        from repro.compiler.annotations import Preload, RegionAnnotations
+        from repro.isa import Reg
+
+        ann = RegionAnnotations(
+            rid=0,
+            preloads=tuple(Preload(Reg(i)) for i in range(5)),
+            cache_invalidates=(),
+            bank_usage=(1,) * 8,
+        )
+        words = encode_region_metadata(ann, n_insns=12)
+        assert words[0].kind == "flag"
+        assert words[0].bits_used == BANK_USAGE_BITS + 3 * EVENT_BITS
+        kinds = [w.kind for w in words]
+        assert "event" in kinds  # 2 leftover preloads
+        assert kinds.count("lastuse") == 2  # ceil(12 / 9)
+
+    def test_every_word_fits_budget(self, compiled_loop):
+        for region, ann in zip(compiled_loop.regions, compiled_loop.annotations):
+            for word in encode_region_metadata(ann, region.num_insns):
+                assert word.bits_used <= METADATA_BITS_PER_INSN
+
+    def test_overhead_matches_annotation_count(self, compiled_loop):
+        for region, ann in zip(compiled_loop.regions, compiled_loop.annotations):
+            n_words, bits = metadata_overhead(ann, region.num_insns)
+            assert n_words == ann.n_metadata_insns
+            assert bits > 0
+
+
+def test_kernel_level_metadata_totals(compiled_loop):
+    assert compiled_loop.total_metadata_insns() == sum(
+        a.n_metadata_insns for a in compiled_loop.annotations
+    )
+    assert compiled_loop.metadata_bits() > 0

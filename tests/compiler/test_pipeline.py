@@ -1,0 +1,45 @@
+import pytest
+
+from repro.compiler import RegionConfig, compile_kernel
+
+
+class TestCompiledKernel:
+    def test_region_of_pc_total(self, compiled_loop):
+        k = compiled_loop.kernel
+        for pc in range(k.num_instructions):
+            region = compiled_loop.region_of_pc(pc)
+            assert region.contains_pc(pc)
+
+    def test_region_of_bad_pc(self, compiled_loop):
+        with pytest.raises(IndexError):
+            compiled_loop.region_of_pc(10_000)
+
+    def test_annotations_of_pc(self, compiled_loop):
+        for pc in range(compiled_loop.kernel.num_instructions):
+            ann = compiled_loop.annotations_of_pc(pc)
+            assert ann.rid == compiled_loop.region_of_pc(pc).rid
+
+    def test_regions_of_block_ordered(self, compiled_loop):
+        for block in compiled_loop.kernel.blocks:
+            regions = compiled_loop.regions_of_block(block.label)
+            starts = [r.start_pc for r in regions]
+            assert starts == sorted(starts)
+
+    def test_region_start_end_predicates(self, compiled_loop):
+        for region in compiled_loop.regions:
+            assert compiled_loop.is_region_start(region.start_pc)
+            assert compiled_loop.is_region_end(region.end_pc - 1)
+
+    def test_statistics(self, compiled_loop):
+        assert compiled_loop.n_regions > 0
+        assert compiled_loop.mean_insns_per_region() > 0
+        assert compiled_loop.mean_preloads_per_region() >= 0
+        assert compiled_loop.std_live_per_region() >= 0
+
+    def test_summary_mentions_kernel(self, compiled_loop):
+        assert compiled_loop.kernel.name in compiled_loop.summary()
+
+    def test_custom_config_respected(self, loop_workload):
+        config = RegionConfig(split_load_use=False)
+        ck = compile_kernel(loop_workload.kernel(), config)
+        assert ck.config.split_load_use is False

@@ -1,0 +1,146 @@
+"""Cross-pass property tests: random kernels through the whole compiler.
+
+These generate small random structured kernels (loops + diamonds + loads)
+and assert the invariants that every pass must jointly maintain.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import (
+    allocate_registers,
+    analyze_liveness,
+    annotate_regions,
+    compile_kernel,
+    create_regions,
+    RegionConfig,
+)
+from repro.isa import KernelBuilder
+
+
+@st.composite
+def structured_kernel(draw):
+    """A kernel with optional loop and diamond, random body lengths."""
+    b = KernelBuilder("rand")
+    b.block("entry")
+    tid = b.reg(0)
+    out = b.reg(1)
+    acc = b.fresh()
+    b.mov(acc, 0)
+
+    use_loop = draw(st.booleans())
+    header = exit_lbl = None
+    i = None
+    if use_loop:
+        i = b.fresh()
+        b.mov(i, 0)
+        header = b.label()
+        exit_lbl = b.label()
+        b.block_named(header)
+        p = b.fresh_pred()
+        b.setp(p, i, 8, tag="loop")
+        b.bra(exit_lbl, pred=p)
+        b.block()
+
+    # body
+    live = [tid, acc]
+    for k in range(draw(st.integers(1, 18))):
+        v = b.fresh()
+        choice = draw(st.integers(0, 3))
+        src = live[draw(st.integers(0, len(live) - 1))]
+        if choice == 0:
+            b.ldg(v, src)
+        elif choice == 1:
+            b.iadd(v, src, k)
+        elif choice == 2:
+            b.imul(v, src, k + 2)
+        else:
+            b.xor(v, src, 0x5A)
+        live.append(v)
+        if len(live) > 5:
+            live.pop(0)
+    b.iadd(acc, acc, live[-1])
+
+    if use_loop:
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+
+    use_diamond = draw(st.booleans())
+    if use_diamond:
+        p2 = b.fresh_pred()
+        b.setp(p2, acc, 0, tag="if")
+        join = b.label()
+        b.bra(join, pred=p2)
+        b.block()
+        b.iadd(acc, acc, 1)
+        b.block_named(join)
+
+    b.stg(out, acc)
+    b.exit()
+    return b.build()
+
+
+@given(structured_kernel())
+@settings(max_examples=50, deadline=None)
+def test_full_pipeline_invariants(kernel):
+    compiled = compile_kernel(kernel)
+
+    # 1. Regions tile the kernel.
+    covered = sorted(
+        pc for r in compiled.regions for pc in range(r.start_pc, r.end_pc)
+    )
+    assert covered == list(range(kernel.num_instructions))
+
+    # 2. Every referenced register in every region gets exactly one
+    #    last-use mark.
+    for region, ann in zip(compiled.regions, compiled.annotations):
+        referenced = set()
+        for pc in range(region.start_pc, region.end_pc):
+            referenced.update(kernel.insn_at(pc).regs)
+        marks = []
+        for bucket in (ann.erase_at, ann.evict_at, ann.erase_on_write,
+                       ann.evict_on_write):
+            for regs in bucket.values():
+                marks.extend(regs)
+        assert sorted(set(marks)) == sorted(marks)  # no double marks
+        assert set(marks) == referenced
+
+    # 3. Preloads are exactly the region inputs.
+    for region, ann in zip(compiled.regions, compiled.annotations):
+        assert {p.reg for p in ann.preloads} == set(region.inputs)
+
+    # 4. Metadata for every region fits the encoding budget.
+    from repro.compiler import encode_region_metadata
+    for region, ann in zip(compiled.regions, compiled.annotations):
+        words = encode_region_metadata(ann, region.num_insns)
+        assert len(words) == ann.n_metadata_insns
+
+
+@given(structured_kernel())
+@settings(max_examples=40, deadline=None)
+def test_regalloc_then_compile_agrees_on_structure(kernel):
+    alloc = allocate_registers(kernel)
+    before = compile_kernel(kernel)
+    after = compile_kernel(alloc)
+    # Region boundaries shift only where bank limits changed; the tiling
+    # invariant and block confinement always hold.
+    for compiled in (before, after):
+        for region in compiled.regions:
+            assert compiled.kernel.block_of_pc(region.start_pc) == region.block
+
+    # Renaming cannot raise the peak footprint of any single PC.
+    assert after.liveness.max_live() == before.liveness.max_live()
+
+
+@given(structured_kernel(), st.integers(2, 6))
+@settings(max_examples=30, deadline=None)
+def test_region_limits_respected_when_splittable(kernel, limit):
+    lv = analyze_liveness(kernel)
+    config = RegionConfig(max_regs_per_region=limit)
+    regions = create_regions(kernel, lv, config)
+    for region in regions:
+        # Either the limit holds, or the region is a minimal unsplittable
+        # range whose single peak exceeds it.
+        if region.max_live > limit:
+            stats_first = region.num_insns
+            assert stats_first >= 1  # accepted-as-is fallback

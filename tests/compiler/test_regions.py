@@ -1,0 +1,202 @@
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import (
+    RegionConfig,
+    analyze_liveness,
+    create_regions,
+    region_stats,
+)
+from repro.isa import KernelBuilder, Opcode
+
+
+def regions_of(kernel, config=None):
+    lv = analyze_liveness(kernel)
+    return create_regions(kernel, lv, config), lv
+
+
+class TestTiling:
+    def test_every_pc_in_exactly_one_region(self, loop_kernel):
+        regions, _ = regions_of(loop_kernel)
+        covered = sorted(
+            pc for r in regions for pc in range(r.start_pc, r.end_pc)
+        )
+        assert covered == list(range(loop_kernel.num_instructions))
+
+    def test_regions_do_not_cross_blocks(self, loop_kernel):
+        regions, _ = regions_of(loop_kernel)
+        for r in regions:
+            assert loop_kernel.block_of_pc(r.start_pc) == r.block
+            assert loop_kernel.block_of_pc(r.end_pc - 1) == r.block
+
+    def test_region_ids_sequential(self, loop_kernel):
+        regions, _ = regions_of(loop_kernel)
+        assert [r.rid for r in regions] == list(range(len(regions)))
+        starts = [r.start_pc for r in regions]
+        assert starts == sorted(starts)
+
+
+class TestLoadUseSplit:
+    def test_load_and_use_in_different_regions(self, loop_kernel):
+        regions, _ = regions_of(loop_kernel)
+        for r in regions:
+            loads = {}
+            for pc in range(r.start_pc, r.end_pc):
+                insn = loop_kernel.insn_at(pc)
+                if insn.opcode.is_global_load:
+                    loads[insn.reg_dsts[0]] = pc
+                for s in insn.reg_srcs:
+                    assert s not in loads, (
+                        f"load at {loads.get(s)} and use at {pc} share a region"
+                    )
+
+    def test_split_disabled_keeps_block_whole(self, loop_kernel):
+        config = RegionConfig(split_load_use=False)
+        regions, _ = regions_of(loop_kernel, config)
+        body_regions = [r for r in regions if r.block == "body"]
+        assert len(body_regions) == 1
+
+
+class TestCapacityLimits:
+    def build_wide(self, width):
+        b = KernelBuilder("wide")
+        b.block("entry")
+        tid = b.reg(0)
+        vals = []
+        for i in range(width):
+            v = b.fresh()
+            b.imad(v, tid, i + 1, tid)
+            vals.append(v)
+        acc = vals[0]
+        for v in vals[1:]:
+            nxt = b.fresh()
+            b.iadd(nxt, acc, v)
+            acc = nxt
+        b.stg(tid, acc)
+        b.exit()
+        return b.build()
+
+    def test_max_live_forces_split(self):
+        k = self.build_wide(12)
+        config = RegionConfig(max_regs_per_region=6, max_regs_per_bank=8)
+        regions, lv = regions_of(k, config)
+        assert len(regions) > 1
+
+    def test_bank_limit_forces_split(self):
+        k = self.build_wide(20)
+        config = RegionConfig(max_regs_per_bank=2, max_regs_per_region=64)
+        regions, _ = regions_of(k, config)
+        assert len(regions) > 1
+
+    def test_big_limits_keep_single_region(self):
+        k = self.build_wide(6)
+        regions, _ = regions_of(k)
+        assert len(regions) == 1
+
+
+class TestBarrierIsolation:
+    def test_barrier_gets_own_region(self):
+        b = KernelBuilder("bar")
+        b.block("entry")
+        t = b.fresh()
+        b.iadd(t, b.reg(0), 1)
+        b.bar()
+        b.imul(t, t, 3)
+        b.stg(b.reg(1), t)
+        b.exit()
+        k = b.build()
+        regions, _ = regions_of(k)
+        bar_regions = [
+            r
+            for r in regions
+            if any(
+                k.insn_at(pc).opcode is Opcode.BAR
+                for pc in range(r.start_pc, r.end_pc)
+            )
+        ]
+        assert len(bar_regions) == 1
+        assert bar_regions[0].num_insns == 1
+
+
+class TestRegionStats:
+    def test_inputs_are_live_in_and_read(self, loop_kernel):
+        lv = analyze_liveness(loop_kernel)
+        regions = create_regions(loop_kernel, lv, RegionConfig())
+        for r in regions:
+            for reg in r.inputs:
+                assert reg in lv.live_before[r.start_pc]
+
+    def test_outputs_live_after_region(self, loop_kernel):
+        lv = analyze_liveness(loop_kernel)
+        regions = create_regions(loop_kernel, lv, RegionConfig())
+        for r in regions:
+            for reg in r.outputs:
+                assert reg in lv.live_after[r.end_pc - 1]
+
+    def test_interior_disjoint_from_boundary(self, loop_kernel):
+        regions, _ = regions_of(loop_kernel)
+        for r in regions:
+            assert not (r.interior & r.inputs)
+            assert not (r.interior & r.outputs)
+
+    def test_max_live_at_least_inputs(self, loop_kernel):
+        regions, _ = regions_of(loop_kernel)
+        for r in regions:
+            assert r.max_live >= len(r.inputs)
+
+    def test_bank_usage_sums_cover_max_live(self, loop_kernel):
+        regions, _ = regions_of(loop_kernel)
+        for r in regions:
+            assert sum(r.bank_usage) >= r.max_live
+
+    def test_stats_function_matches_region(self, loop_kernel):
+        lv = analyze_liveness(loop_kernel)
+        config = RegionConfig()
+        regions = create_regions(loop_kernel, lv, config)
+        for r in regions:
+            stats = region_stats(loop_kernel, lv, r.start_pc, r.end_pc, config)
+            assert stats == r.stats
+
+
+@st.composite
+def chain_kernel(draw):
+    """Straight-line kernel with random loads sprinkled in."""
+    b = KernelBuilder("rand")
+    b.block("entry")
+    tid = b.reg(0)
+    n = draw(st.integers(min_value=3, max_value=40))
+    live = [tid]
+    for i in range(n):
+        v = b.fresh()
+        if draw(st.booleans()) and i > 0:
+            b.ldg(v, live[-1])
+        else:
+            b.iadd(v, live[draw(st.integers(0, len(live) - 1))], i)
+        live.append(v)
+        if len(live) > 6:
+            live.pop(0)
+    b.stg(tid, live[-1])
+    b.exit()
+    return b.build()
+
+
+class TestRegionProperties:
+    @given(chain_kernel())
+    @settings(max_examples=40, deadline=None)
+    def test_tiling_property(self, kernel):
+        regions, _ = regions_of(kernel)
+        covered = sorted(
+            pc for r in regions for pc in range(r.start_pc, r.end_pc)
+        )
+        assert covered == list(range(kernel.num_instructions))
+
+    @given(chain_kernel())
+    @settings(max_examples=40, deadline=None)
+    def test_no_load_use_pairs_property(self, kernel):
+        regions, _ = regions_of(kernel)
+        for r in regions:
+            pending = set()
+            for pc in range(r.start_pc, r.end_pc):
+                insn = kernel.insn_at(pc)
+                assert not (set(insn.reg_srcs) & pending)
+                if insn.opcode.is_global_load:
+                    pending.update(insn.reg_dsts)

@@ -1,0 +1,46 @@
+from repro.energy import Counters
+
+
+class TestCounters:
+    def test_default_zero(self):
+        c = Counters()
+        assert c.get("anything") == 0.0
+        assert c["anything"] == 0.0
+
+    def test_increment(self):
+        c = Counters()
+        c.inc("x")
+        c.inc("x", 2.5)
+        assert c.get("x") == 3.5
+
+    def test_contains(self):
+        c = Counters()
+        assert "x" not in c
+        c.inc("x")
+        assert "x" in c
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.inc("x", 1)
+        b.inc("x", 2)
+        b.inc("y", 3)
+        a.merge(b)
+        assert a.get("x") == 3 and a.get("y") == 3
+
+    def test_as_dict_snapshot(self):
+        c = Counters()
+        c.inc("x")
+        d = c.as_dict()
+        c.inc("x")
+        assert d["x"] == 1.0
+
+    def test_items_sorted(self):
+        c = Counters()
+        c.inc("b")
+        c.inc("a")
+        assert [k for k, _ in c.items()] == ["a", "b"]
+
+    def test_repr(self):
+        c = Counters()
+        c.inc("reads", 7)
+        assert "reads=7" in repr(c)

@@ -1,0 +1,55 @@
+import pytest
+
+from repro.energy import AreaModel, OSU_CAPACITY_SWEEP
+
+
+@pytest.fixture
+def model():
+    return AreaModel()
+
+
+class TestArea:
+    def test_monotone_in_capacity(self, model):
+        totals = [model.area(n).total for n in OSU_CAPACITY_SWEEP]
+        assert totals == sorted(totals)
+
+    def test_design_point_matches_paper_quarter(self, model):
+        """512 entries is ~0.3x the baseline RF area (Figure 11)."""
+        assert 0.25 < model.area(512).total < 0.35
+
+    def test_full_capacity_slightly_over_unity(self, model):
+        total = model.area(2048).total
+        assert 1.0 < total < 1.1
+
+    def test_compressor_constant(self, model):
+        assert model.area(128).compressor == model.area(2048).compressor
+
+    def test_breakdown_sums(self, model):
+        a = model.area(384)
+        assert a.total == pytest.approx(a.storage + a.logic + a.compressor)
+        assert set(a.as_dict()) == {"storage", "logic", "compressor", "total"}
+
+    def test_sweep_covers_requested_capacities(self, model):
+        sweep = model.sweep((128, 512))
+        assert set(sweep) == {128, 512}
+
+
+class TestPower:
+    def test_monotone_in_capacity(self, model):
+        powers = [model.power(n)["total"] for n in OSU_CAPACITY_SWEEP]
+        assert powers == sorted(powers)
+
+    def test_design_point_fraction(self, model):
+        """512 entries draws roughly a third of the baseline RF power
+        (Figure 12)."""
+        assert 0.2 < model.power(512)["total"] < 0.45
+
+    def test_activity_scales_dynamic(self, model):
+        quiet = model.power(512, accesses_per_cycle=0.5)["total"]
+        busy = model.power(512, accesses_per_cycle=4.0)["total"]
+        assert quiet != busy
+
+    def test_components_present(self, model):
+        p = model.power(256)
+        assert set(p) == {"osu", "compressor", "total"}
+        assert p["total"] == pytest.approx(p["osu"] + p["compressor"])

@@ -1,0 +1,109 @@
+import pytest
+
+from repro.energy import BASELINE_RF_ENTRIES, EnergyModel, EnergyParams
+
+
+@pytest.fixture
+def model():
+    return EnergyModel()
+
+
+def counters_for(reads=1000, writes=500, backend="baseline"):
+    prefix = {"baseline": "rf", "rfv": "rfv"}.get(backend)
+    c = {"insn_issued": 2000.0}
+    if prefix:
+        c[f"{prefix}_read"] = float(reads)
+        c[f"{prefix}_write"] = float(writes)
+    return c
+
+
+class TestAccessScaling:
+    def test_baseline_access_is_unit(self):
+        p = EnergyParams()
+        assert p.access_energy(BASELINE_RF_ENTRIES) == pytest.approx(1.0)
+
+    def test_smaller_is_cheaper(self):
+        p = EnergyParams()
+        assert p.access_energy(512) < p.access_energy(1024) < p.access_energy(2048)
+
+    def test_floor_bounds_tiny_structures(self):
+        p = EnergyParams()
+        assert p.access_energy(1) >= p.access_floor
+
+    def test_roughly_linear(self):
+        p = EnergyParams()
+        # Figure 12's shape: power tracks capacity nearly linearly.
+        assert p.access_energy(512) == pytest.approx(
+            p.access_floor + (1 - p.access_floor) * 0.25
+        )
+
+
+class TestRFEnergy:
+    def test_backend_ordering_at_same_activity(self, model):
+        cycles = 10_000
+        base = model.rf_energy(counters_for(backend="baseline"), cycles, "baseline")
+        rfv = model.rf_energy(counters_for(backend="rfv"), cycles, "rfv")
+        osu = model.rf_energy(
+            {"osu_read": 1000.0, "osu_write": 500.0, "osu_tag": 200.0},
+            cycles,
+            "regless",
+        )
+        assert osu < rfv < base
+
+    def test_regless_scales_with_capacity(self, model):
+        counters = {"osu_read": 1000.0, "osu_write": 500.0}
+        small = model.rf_energy(counters, 1000, "regless", osu_entries=128)
+        big = model.rf_energy(counters, 1000, "regless", osu_entries=1024)
+        assert small < big
+
+    def test_rfh_charges_small_structures_less(self, model):
+        all_mrf = {"rf_read": 1000.0, "rf_write": 500.0}
+        all_small = {"rfh_lrf_read": 1000.0, "rfh_lrf_write": 500.0}
+        e_mrf = model.rf_energy(all_mrf, 1000, "rfh")
+        e_small = model.rf_energy(all_small, 1000, "rfh")
+        assert e_small < e_mrf
+
+    def test_none_backend_is_free(self, model):
+        assert model.rf_energy({}, 1000, "none") == 0.0
+
+    def test_unknown_backend_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.rf_energy({}, 1000, "mystery")
+
+
+class TestGPUEnergy:
+    def test_breakdown_sums(self, model):
+        br = model.gpu_energy(counters_for(), 5000, "baseline")
+        assert br.total == pytest.approx(
+            br.rf + br.exec + br.memory + br.static + br.metadata
+        )
+
+    def test_rf_share_near_paper_bound(self):
+        """With typical per-instruction access mix, the baseline RF is in
+        the neighbourhood of the paper's 16.7% of GPU energy."""
+        model = EnergyModel()
+        insns = 10_000
+        counters = {
+            "insn_issued": float(insns),
+            "rf_read": insns * 1.7,
+            "rf_write": insns * 0.6,
+            "l2_access": insns * 0.15,
+            "dram_read": insns * 0.1,
+        }
+        br = model.gpu_energy(counters, int(insns / 1.8), "baseline")
+        share = br.rf / br.total
+        assert 0.12 < share < 0.22
+
+    def test_metadata_charged(self, model):
+        with_meta = model.gpu_energy(
+            {"insn_issued": 100.0, "metadata_issue": 50.0}, 100, "regless"
+        )
+        without = model.gpu_energy({"insn_issued": 100.0}, 100, "regless")
+        assert with_meta.total > without.total
+
+    def test_memory_traffic_charged(self, model):
+        br = model.gpu_energy(
+            {"l1_access": 10.0, "l2_access": 10.0, "dram_read": 10.0}, 10,
+            "baseline",
+        )
+        assert br.memory > 0

@@ -1,0 +1,61 @@
+import json
+import os
+
+import pytest
+
+from repro.harness import EXPORTABLE, SuiteRunner, export_all, rows_for, to_csv, to_json
+from repro.sim import GPUConfig
+
+SUBSET = ["bfs", "streamcluster"]
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(config=GPUConfig(warps_per_sm=8, schedulers_per_sm=2,
+                                        cta_size_warps=4))
+
+
+class TestRows:
+    @pytest.mark.parametrize("experiment", ["fig2", "fig14", "fig16",
+                                             "fig17", "table2"])
+    def test_per_benchmark_experiments(self, runner, experiment):
+        rows = rows_for(experiment, runner, SUBSET)
+        assert rows
+        assert all("benchmark" in r for r in rows)
+
+    def test_fig11_rows_without_runner_cost(self, runner):
+        rows = rows_for("fig11", runner)
+        assert {r["capacity"] for r in rows} >= {128, 512, 2048}
+
+    def test_fig5_rows(self, runner):
+        rows = rows_for("fig5", runner)
+        assert rows[0]["pc"] == 0
+
+    def test_unknown_rejected(self, runner):
+        with pytest.raises(ValueError):
+            rows_for("fig99", runner)
+
+
+class TestFormats:
+    def test_csv_round_trip(self, runner):
+        rows = rows_for("fig2", runner, SUBSET)
+        text = to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("benchmark")
+        assert len(lines) == len(rows) + 1
+
+    def test_csv_empty(self):
+        assert to_csv([]) == ""
+
+    def test_json_parses(self, runner):
+        rows = rows_for("fig2", runner, SUBSET)
+        parsed = json.loads(to_json(rows))
+        assert len(parsed) == len(rows)
+
+
+def test_export_all_writes_files(tmp_path, runner):
+    paths = export_all(str(tmp_path), runner, SUBSET, fmt="csv")
+    assert len(paths) == len(EXPORTABLE)
+    for path in paths:
+        assert os.path.exists(path)
+        assert os.path.getsize(path) > 0

@@ -1,0 +1,102 @@
+import pytest
+
+from repro.isa import AssemblerError, Opcode, assemble, disassemble
+
+SAMPLE = """
+.kernel saxpy
+entry:
+    ldg   R2, R0
+    ldg   R3, R1
+    ffma  R4, R2, R3, R2   ; comment
+    setp  P0, R4, #0
+    @P0 bra loop
+    exit
+loop:
+    mov   R5, #1           // another comment
+    @!P1 stg R1, R5
+    exit
+"""
+
+
+class TestAssemble:
+    def test_name_directive(self):
+        k = assemble(SAMPLE)
+        assert k.name == "saxpy"
+
+    def test_blocks_and_instructions(self):
+        # A control instruction ends a block: the exit after the
+        # conditional branch lands in an implicit continuation block.
+        k = assemble(SAMPLE)
+        labels = [b.label for b in k.blocks]
+        assert labels[0] == "entry" and "loop" in labels
+        assert len(labels) == 3
+        assert len(k.block("entry")) == 5
+        assert len(k.block("loop")) == 3
+
+    def test_operand_kinds(self):
+        k = assemble(SAMPLE)
+        ffma = k.block("entry").instructions[2]
+        assert ffma.opcode is Opcode.FFMA
+        assert len(ffma.reg_srcs) == 3
+
+    def test_guards(self):
+        k = assemble(SAMPLE)
+        bra = k.block("entry").instructions[4]
+        assert bra.guard is not None and not bra.guard.negate
+        stg = k.block("loop").instructions[1]
+        assert stg.guard is not None and stg.guard.negate
+
+    def test_mid_block_branch_auto_splits(self):
+        k = assemble("entry:\n bra entry\n mov R0, #1\n exit")
+        assert len(k.blocks) == 2
+        assert len(k.blocks[1]) == 2
+
+    def test_implicit_entry_block(self):
+        k = assemble("exit")
+        assert k.blocks[0].label == "entry"
+
+    def test_store_has_no_destination(self):
+        k = assemble("entry:\n stg R0, R1\n exit")
+        st = k.block("entry").instructions[0]
+        assert st.reg_dsts == ()
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "frobnicate R0, R1",
+            "iadd R0, Q1",
+            "bra",
+            "@X0 mov R0, #1",
+            ":",
+            "",
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(AssemblerError):
+            assemble(text)
+
+
+class TestRoundTrip:
+    def test_assemble_disassemble_assemble(self):
+        k1 = assemble(SAMPLE)
+        text = disassemble(k1)
+        k2 = assemble(text)
+        assert k1.name == k2.name
+        assert k1.num_instructions == k2.num_instructions
+        for pc in range(k1.num_instructions):
+            a, b = k1.insn_at(pc), k2.insn_at(pc)
+            assert a.opcode == b.opcode
+            assert a.dsts == b.dsts
+            assert a.srcs == b.srcs
+            assert a.target == b.target
+            assert (a.guard is None) == (b.guard is None)
+
+    def test_builder_kernel_round_trips(self, loop_kernel):
+        text = disassemble(loop_kernel)
+        k2 = assemble(text)
+        assert k2.num_instructions == loop_kernel.num_instructions
+        assert [b.label for b in k2.blocks] == [
+            b.label for b in loop_kernel.blocks
+        ]

@@ -1,0 +1,120 @@
+import pytest
+
+from repro.isa import Imm, KernelBuilder, Opcode, Pred, Reg
+
+
+class TestOperandAllocation:
+    def test_fresh_single(self):
+        b = KernelBuilder("k")
+        r = b.fresh()
+        assert isinstance(r, Reg)
+
+    def test_fresh_multiple_distinct(self):
+        b = KernelBuilder("k")
+        regs = b.fresh(5)
+        assert len(set(regs)) == 5
+
+    def test_fixed_reg_reserves_range(self):
+        b = KernelBuilder("k")
+        b.reg(3)
+        r = b.fresh()
+        assert r.index > 3
+
+    def test_fresh_pred(self):
+        b = KernelBuilder("k")
+        assert b.fresh_pred() == Pred(0)
+        assert b.fresh_pred() == Pred(1)
+
+
+class TestBlocks:
+    def test_auto_labels(self):
+        b = KernelBuilder("k")
+        assert b.block() == "bb0"
+        assert b.block() == "bb1"
+
+    def test_duplicate_label_rejected(self):
+        b = KernelBuilder("k")
+        b.block("entry")
+        with pytest.raises(ValueError):
+            b.block("entry")
+
+    def test_emit_without_block_rejected(self):
+        b = KernelBuilder("k")
+        with pytest.raises(RuntimeError):
+            b.mov(b.fresh(), 0)
+
+    def test_label_then_block_named(self):
+        b = KernelBuilder("k")
+        b.block("entry")
+        b.exit()
+        lbl = b.label()
+        b.block_named(lbl)
+        b.exit()
+        k = b.build()
+        assert [blk.label for blk in k.blocks] == ["entry", lbl]
+
+
+class TestEmission:
+    def test_immediates_coerced(self):
+        b = KernelBuilder("k")
+        b.block("entry")
+        insn = b.iadd(b.fresh(), b.fresh(), 7)
+        assert insn.srcs[1] == Imm(7)
+
+    def test_int_destination_coerced_to_reg(self):
+        b = KernelBuilder("k")
+        b.block("entry")
+        insn = b.mov(5, 1)
+        assert insn.reg_dsts == (Reg(5),)
+
+    def test_branch_with_pred(self):
+        b = KernelBuilder("k")
+        b.block("entry")
+        p = b.fresh_pred()
+        b.setp(p, b.reg(0), 0)
+        insn = b.bra("entry", pred=p, negate=True)
+        assert insn.guard is not None
+        assert insn.guard.negate
+
+    def test_load_store_shapes(self):
+        b = KernelBuilder("k")
+        b.block("entry")
+        addr = b.reg(0)
+        v = b.fresh()
+        ld = b.ldg(v, addr, tag="t")
+        st = b.stg(addr, v)
+        assert ld.opcode is Opcode.LDG and ld.tag == "t"
+        assert st.reg_dsts == () and st.reg_srcs == (addr, v)
+
+    def test_guard_helper(self):
+        b = KernelBuilder("k")
+        b.block("entry")
+        p = b.fresh_pred()
+        insn = b.mov(b.fresh(), 1, guard=b.guard(p))
+        assert insn.guard.pred == p and not insn.guard.negate
+
+    def test_all_alu_helpers_emit(self):
+        b = KernelBuilder("k")
+        b.block("entry")
+        d, a, c = b.fresh(3)
+        for helper in (b.iadd, b.isub, b.imul, b.and_, b.or_, b.xor,
+                       b.shl, b.shr, b.imin, b.imax, b.fadd, b.fmul,
+                       b.fmin, b.fmax, b.fdiv):
+            helper(d, a, c)
+        b.imad(d, a, c, a)
+        b.ffma(d, a, c, a)
+        for helper in (b.rcp, b.rsq, b.sin, b.ex2, b.lg2, b.cvt):
+            helper(d, a)
+        b.exit()
+        k = b.build()
+        assert k.num_instructions == 24
+
+
+def test_build_produces_valid_kernel():
+    b = KernelBuilder("k")
+    b.block("entry")
+    b.bar()
+    b.exit()
+    k = b.build()
+    assert k.name == "k"
+    assert k.num_instructions == 2

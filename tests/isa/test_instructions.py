@@ -1,0 +1,66 @@
+import pytest
+
+from repro.isa import Imm, Instruction, Opcode, Pred, PredGuard, Reg
+
+
+def iadd(dst, a, b):
+    return Instruction(Opcode.IADD, (Reg(dst),), (Reg(a), Reg(b)))
+
+
+class TestValidation:
+    def test_branch_requires_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.BRA)
+
+    def test_non_branch_rejects_target(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.IADD, (Reg(0),), (Reg(1),), target="bb0")
+
+    def test_immediate_destination_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(Opcode.IADD, (Imm(1),), (Reg(0),))
+
+
+class TestAccessors:
+    def test_reg_srcs_and_dsts(self):
+        insn = Instruction(
+            Opcode.IMAD, (Reg(0),), (Reg(1), Imm(3), Reg(2))
+        )
+        assert insn.reg_dsts == (Reg(0),)
+        assert insn.reg_srcs == (Reg(1), Reg(2))
+        assert insn.regs == (Reg(1), Reg(2), Reg(0))
+
+    def test_pred_dsts(self):
+        insn = Instruction(Opcode.SETP, (Pred(0),), (Reg(1), Imm(0)))
+        assert insn.pred_dsts == (Pred(0),)
+        assert insn.reg_dsts == ()
+
+    def test_guard_counts_as_pred_src(self):
+        guard = PredGuard(Pred(2), negate=True)
+        insn = Instruction(Opcode.MOV, (Reg(0),), (Imm(1),), guard=guard)
+        assert Pred(2) in insn.pred_srcs
+        assert insn.is_guarded
+
+    def test_unguarded(self):
+        assert not iadd(0, 1, 2).is_guarded
+
+
+class TestRepr:
+    def test_plain(self):
+        assert "iadd" in repr(iadd(0, 1, 2))
+
+    def test_guard_repr(self):
+        guard = PredGuard(Pred(1), negate=True)
+        insn = Instruction(Opcode.MOV, (Reg(0),), (Imm(1),), guard=guard)
+        assert "@!P1" in repr(insn)
+
+    def test_branch_repr(self):
+        insn = Instruction(Opcode.BRA, target="loop")
+        assert "loop" in repr(insn)
+
+
+def test_instructions_hashable_and_tagged():
+    a = Instruction(Opcode.MOV, (Reg(0),), (Imm(1),), tag="x")
+    b = Instruction(Opcode.MOV, (Reg(0),), (Imm(1),), tag="y")
+    assert a != b
+    assert len({a, b}) == 2

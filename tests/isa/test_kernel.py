@@ -1,0 +1,123 @@
+import pytest
+
+from repro.isa import BasicBlock, Instruction, Kernel, KernelBuilder, Opcode, Pred, PredGuard, Reg
+
+
+def mov(dst, v):
+    from repro.isa import Imm
+    return Instruction(Opcode.MOV, (Reg(dst),), (Imm(v),))
+
+
+def bra(target, pred=None):
+    guard = PredGuard(Pred(pred)) if pred is not None else None
+    return Instruction(Opcode.BRA, guard=guard, target=target)
+
+
+def exit_():
+    return Instruction(Opcode.EXIT)
+
+
+class TestBasicBlock:
+    def test_terminator_detection(self):
+        block = BasicBlock("a", [mov(0, 1), exit_()])
+        assert block.terminator is not None
+        assert not block.falls_through
+
+    def test_no_terminator_falls_through(self):
+        block = BasicBlock("a", [mov(0, 1)])
+        assert block.terminator is None
+        assert block.falls_through
+
+    def test_conditional_branch_falls_through(self):
+        block = BasicBlock("a", [bra("t", pred=0)])
+        assert block.falls_through
+
+    def test_unconditional_branch_does_not_fall_through(self):
+        block = BasicBlock("a", [bra("t")])
+        assert not block.falls_through
+
+    def test_control_in_middle_rejected(self):
+        with pytest.raises(ValueError):
+            BasicBlock("a", [exit_(), mov(0, 1)])
+
+
+class TestKernelCFG:
+    def make(self):
+        return Kernel(
+            "k",
+            [
+                BasicBlock("entry", [mov(0, 1), bra("join", pred=0)]),
+                BasicBlock("then", [mov(1, 2)]),
+                BasicBlock("join", [exit_()]),
+            ],
+        )
+
+    def test_successors(self):
+        k = self.make()
+        assert set(k.successors("entry")) == {"join", "then"}
+        assert k.successors("then") == ["join"]
+        assert k.successors("join") == []
+
+    def test_predecessors(self):
+        k = self.make()
+        assert set(k.predecessors("join")) == {"entry", "then"}
+
+    def test_entry_and_exits(self):
+        k = self.make()
+        assert k.entry == "entry"
+        assert k.exit_labels == ["join"]
+
+    def test_unknown_branch_target_rejected(self):
+        with pytest.raises(ValueError):
+            Kernel("k", [BasicBlock("a", [bra("nowhere")])])
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            Kernel("k", [BasicBlock("a", [mov(0, 1)]), BasicBlock("a", [exit_()])])
+
+    def test_empty_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            Kernel("k", [])
+
+
+class TestPCViews:
+    def test_flat_pcs(self):
+        k = Kernel(
+            "k",
+            [
+                BasicBlock("a", [mov(0, 1), mov(1, 2)]),
+                BasicBlock("b", [exit_()]),
+            ],
+        )
+        assert k.num_instructions == 3
+        assert k.block_of_pc(0) == "a"
+        assert k.block_of_pc(2) == "b"
+        assert k.block_start_pc("b") == 2
+        assert k.block_end_pc("a") == 2
+        assert list(k.pcs_of_block("a")) == [0, 1]
+
+    def test_iter_pcs(self):
+        k = Kernel("k", [BasicBlock("a", [mov(0, 1), exit_()])])
+        triples = list(k.iter_pcs())
+        assert [t[0] for t in triples] == [0, 1]
+        assert all(t[1] == "a" for t in triples)
+
+
+class TestRegisterStats:
+    def test_registers_and_num_regs(self, loop_kernel):
+        regs = loop_kernel.registers
+        assert regs == sorted(regs)
+        assert loop_kernel.num_regs == max(r.index for r in regs) + 1
+
+    def test_has_exit(self, loop_kernel):
+        assert loop_kernel.has_exit
+
+    def test_repr(self, loop_kernel):
+        assert "loop" in repr(loop_kernel)
+
+
+def test_builder_and_kernel_agree(loop_kernel):
+    # Rebuild through the builder: block boundaries must match CFG edges.
+    for block in loop_kernel.blocks:
+        for succ in loop_kernel.successors(block.label):
+            assert block.label in loop_kernel.predecessors(succ)

@@ -1,0 +1,36 @@
+from repro.isa import FuncUnit, Opcode, OPCODE_INFO
+
+
+def test_every_opcode_has_info():
+    for op in Opcode:
+        assert op in OPCODE_INFO
+        assert op.info.latency >= 1
+
+
+def test_memory_classification():
+    assert Opcode.LDG.info.is_load
+    assert Opcode.LDG.is_global_load
+    assert Opcode.STG.info.is_store
+    assert not Opcode.LDS.is_global_load
+    assert Opcode.LDS.is_memory
+    assert not Opcode.IADD.is_memory
+
+
+def test_control_classification():
+    assert Opcode.BRA.info.is_branch
+    assert Opcode.BAR.info.is_barrier
+    assert Opcode.EXIT.info.is_exit
+    assert Opcode.BRA.info.unit is FuncUnit.CTRL
+
+
+def test_sfu_slower_than_alu():
+    assert Opcode.RSQ.info.latency > Opcode.IADD.info.latency
+    assert Opcode.RSQ.info.unit is FuncUnit.SFU
+
+
+def test_flags_are_exclusive():
+    for op in Opcode:
+        info = op.info
+        flags = [info.is_load, info.is_store, info.is_branch,
+                 info.is_barrier, info.is_exit]
+        assert sum(flags) <= 1

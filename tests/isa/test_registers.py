@@ -1,0 +1,50 @@
+import pytest
+
+from repro.isa import Imm, Pred, Reg, REGISTER_BYTES, WARP_WIDTH
+
+
+class TestReg:
+    def test_repr(self):
+        assert repr(Reg(5)) == "R5"
+
+    def test_equality_and_hash(self):
+        assert Reg(3) == Reg(3)
+        assert Reg(3) != Reg(4)
+        assert len({Reg(1), Reg(1), Reg(2)}) == 2
+
+    def test_ordering(self):
+        assert Reg(1) < Reg(2)
+        assert sorted([Reg(5), Reg(0), Reg(3)]) == [Reg(0), Reg(3), Reg(5)]
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Reg(-1)
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            Reg(1).index = 2  # type: ignore[misc]
+
+
+class TestPred:
+    def test_repr(self):
+        assert repr(Pred(0)) == "P0"
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Pred(-2)
+
+    def test_distinct_from_reg(self):
+        assert Pred(1) != Reg(1)
+
+
+class TestImm:
+    def test_repr(self):
+        assert repr(Imm(42)) == "#42"
+
+    def test_negative_allowed(self):
+        assert Imm(-1).value == -1
+
+
+def test_geometry_constants():
+    assert WARP_WIDTH == 32
+    assert REGISTER_BYTES == 128

@@ -1,0 +1,107 @@
+import pytest
+
+from repro.isa import KernelBuilder, Reg, assemble
+from repro.isa.validate import (
+    KernelValidationError,
+    check_kernel,
+    validate_kernel,
+)
+
+
+def codes(kernel, **kwargs):
+    return [d.code for d in validate_kernel(kernel, **kwargs)]
+
+
+class TestCleanKernels:
+    def test_loop_kernel_clean(self, loop_kernel):
+        assert [d for d in validate_kernel(loop_kernel)
+                if d.severity == "error"] == []
+
+    def test_rodinia_suite_is_clean(self):
+        from repro.workloads import make_workload, workload_names
+
+        for name in workload_names():
+            kernel = make_workload(name).kernel()
+            errors = [d for d in validate_kernel(kernel)
+                      if d.severity == "error"]
+            assert errors == [], (name, errors)
+
+
+class TestFindings:
+    def test_unreachable_block(self):
+        k = assemble("""
+        entry:
+            exit
+        orphan:
+            mov R4, #1
+            exit
+        """)
+        assert "unreachable-block" in codes(k)
+
+    def test_missing_exit(self):
+        k = assemble("entry:\n mov R4, #1")
+        assert "missing-exit" in codes(k)
+
+    def test_infinite_loop_is_error(self):
+        k = assemble("""
+        entry:
+            mov R4, #0
+        spin:
+            iadd R4, R4, #1
+            bra spin
+        """)
+        diags = validate_kernel(k)
+        assert any(d.code == "no-exit-path" and d.severity == "error"
+                   for d in diags)
+
+    def test_read_before_write(self):
+        k = assemble("entry:\n iadd R5, R9, #1\n exit")
+        assert "read-before-write" in codes(k)
+
+    def test_inputs_suppress_read_warning(self):
+        k = assemble("entry:\n iadd R5, R9, #1\n exit")
+        assert "read-before-write" not in codes(k, inputs=[Reg(9)])
+
+    def test_pred_before_setp(self):
+        k = assemble("entry:\n @P0 mov R4, #1\n exit")
+        assert "pred-before-setp" in codes(k)
+
+    def test_untagged_setp(self):
+        b = KernelBuilder("k")
+        b.block("entry")
+        p = b.fresh_pred()
+        b.setp(p, b.reg(0), 0)  # no tag
+        b.exit()
+        assert "untagged-setp" in codes(b.build())
+
+    def test_tagged_setp_clean(self):
+        b = KernelBuilder("k")
+        b.block("entry")
+        p = b.fresh_pred()
+        b.setp(p, b.reg(0), 0, tag="cond")
+        b.bra("entry", pred=p)
+        b.block("next")
+        b.exit()
+        assert "untagged-setp" not in codes(b.build())
+
+
+class TestCheckKernel:
+    def test_raises_on_error(self):
+        k = assemble("entry:\n mov R4, #0\nspin:\n bra spin")
+        with pytest.raises(KernelValidationError) as exc:
+            check_kernel(k)
+        assert "no-exit-path" in str(exc.value)
+
+    def test_warnings_pass_by_default(self):
+        k = assemble("entry:\n iadd R5, R9, #1\n exit")
+        check_kernel(k)  # warning only
+
+    def test_strict_raises_on_warnings(self):
+        k = assemble("entry:\n iadd R5, R9, #1\n exit")
+        with pytest.raises(KernelValidationError):
+            check_kernel(k, strict=True)
+
+    def test_diagnostic_render(self):
+        k = assemble("entry:\n @P0 mov R4, #1\n exit")
+        diag = validate_kernel(k)[0]
+        assert "[" in diag.render() and diag.code in diag.render()

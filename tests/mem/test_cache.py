@@ -1,0 +1,146 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import MSHRFile, SetAssocCache
+
+
+def make(lines=8, assoc=2, line=128):
+    return SetAssocCache(lines, assoc, line)
+
+
+class TestLookupAndFill:
+    def test_miss_then_hit(self):
+        c = make()
+        assert not c.lookup(0)
+        c.fill(0)
+        assert c.lookup(0)
+
+    def test_alignment(self):
+        c = make()
+        c.fill(130)  # line 128
+        assert c.lookup(128)
+        assert c.lookup(255)
+        assert not c.lookup(256)
+
+    def test_lru_eviction(self):
+        c = make(lines=4, assoc=2)  # 2 sets
+        # Same set: line addresses differing by n_sets * line.
+        a, b, d = 0, 2 * 128, 4 * 128
+        c.fill(a)
+        c.fill(b)
+        c.lookup(a)  # a most-recent
+        victim = c.fill(d)
+        assert victim is not None
+        assert victim.addr == b
+
+    def test_fill_existing_keeps_occupancy(self):
+        c = make()
+        c.fill(0)
+        c.fill(0)
+        assert c.occupancy == 1
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(7, 2, 128)
+
+
+class TestDirty:
+    def test_mark_dirty(self):
+        c = make()
+        c.fill(0)
+        assert not c.is_dirty(0)
+        assert c.mark_dirty(0)
+        assert c.is_dirty(0)
+
+    def test_mark_dirty_missing_line(self):
+        c = make()
+        assert not c.mark_dirty(0)
+
+    def test_dirty_eviction_reported(self):
+        c = make(lines=2, assoc=2)
+        c.fill(0, dirty=True)
+        c.fill(2 * 128)
+        victim = c.fill(4 * 128)
+        assert victim is not None and victim.addr == 0 and victim.dirty
+
+    def test_fill_dirty_merges(self):
+        c = make()
+        c.fill(0)
+        c.fill(0, dirty=True)
+        assert c.is_dirty(0)
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        c = make()
+        c.fill(0, dirty=True)
+        assert c.invalidate(0)
+        assert not c.lookup(0)
+
+    def test_invalidate_absent(self):
+        c = make()
+        assert not c.invalidate(0)
+
+
+class TestMSHR:
+    def test_primary_and_merged(self):
+        m = MSHRFile(2)
+        assert m.allocate(0, "cb1") is True
+        assert m.allocate(0, "cb2") is False
+        assert m.complete(0) == ["cb1", "cb2"]
+        assert m.occupancy == 0
+
+    def test_capacity(self):
+        m = MSHRFile(1)
+        m.allocate(0, "a")
+        assert not m.can_allocate(128)
+        assert m.can_allocate(0)  # merge always allowed
+        with pytest.raises(RuntimeError):
+            m.allocate(128, "b")
+
+    def test_complete_unknown(self):
+        m = MSHRFile(2)
+        assert m.complete(999) == []
+
+    def test_contains(self):
+        m = MSHRFile(2)
+        m.allocate(0, "a")
+        assert 0 in m and 128 not in m
+
+
+class LRUReference:
+    """Simple reference model for differential testing."""
+
+    def __init__(self, n_lines, assoc, line):
+        self.assoc = assoc
+        self.line = line
+        self.n_sets = n_lines // assoc
+        self.sets = [[] for _ in range(self.n_sets)]
+
+    def access(self, addr, fill):
+        addr -= addr % self.line
+        s = self.sets[(addr // self.line) % self.n_sets]
+        hit = addr in s
+        if hit:
+            s.remove(addr)
+            s.append(addr)
+        elif fill:
+            if len(s) >= self.assoc:
+                s.pop(0)
+            s.append(addr)
+        return hit
+
+
+@given(st.lists(st.tuples(st.integers(0, 40), st.booleans()), max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_lru_matches_reference_model(ops):
+    cache = make(lines=8, assoc=2)
+    ref = LRUReference(8, 2, 128)
+    for line_no, do_fill in ops:
+        addr = line_no * 128
+        hit_c = cache.lookup(addr)
+        hit_r = ref.access(addr, fill=False)
+        assert hit_c == hit_r
+        if do_fill and not hit_c:
+            cache.fill(addr)
+            ref.access(addr, fill=True)

@@ -1,0 +1,105 @@
+"""Memory-system corner cases not covered by the main mem tests."""
+
+from repro.energy import Counters
+from repro.mem import L1RegCache, MemoryHierarchy
+from repro.sim import EventWheel, GPUConfig
+
+
+def make(**overrides):
+    cfg = GPUConfig(**overrides)
+    counters = Counters()
+    wheel = EventWheel()
+    hier = MemoryHierarchy(cfg, counters, wheel)
+    l1 = L1RegCache(0, cfg, counters, wheel, hier)
+    return l1, hier, counters, wheel, cfg
+
+
+def pump(l1, hier, wheel, cycles):
+    for _ in range(cycles):
+        wheel.tick()
+        hier.cycle()
+        l1.begin_cycle()
+
+
+class TestMSHRPressure:
+    def test_read_rejected_when_mshrs_full(self):
+        l1, hier, counters, wheel, cfg = make(l1_mshrs=2)
+        accepted = 0
+        for i in range(4):
+            l1.begin_cycle()
+            if l1.read(0x10000 + i * 4096, lambda src: None):
+                accepted += 1
+        assert accepted == 2  # two distinct-line misses fill both MSHRs
+
+    def test_merge_does_not_consume_extra_mshr(self):
+        l1, hier, counters, wheel, cfg = make(l1_mshrs=1)
+        l1.begin_cycle()
+        assert l1.read(0x10000, lambda src: None)
+        l1.begin_cycle()
+        assert l1.read(0x10000, lambda src: None)  # merged
+        l1.begin_cycle()
+        assert not l1.read(0x20000, lambda src: None)  # full
+
+    def test_mshrs_drain_after_fill(self):
+        l1, hier, counters, wheel, cfg = make(l1_mshrs=1)
+        done = []
+        l1.begin_cycle()
+        l1.read(0x10000, lambda src: done.append(src))
+        pump(l1, hier, wheel, cfg.l2_latency + cfg.dram_latency + 10)
+        assert done
+        l1.begin_cycle()
+        assert l1.read(0x20000, lambda src: done.append(src))
+
+
+class TestWriteReadInteraction:
+    def test_read_after_write_hits(self):
+        l1, hier, counters, wheel, cfg = make()
+        results = []
+        l1.begin_cycle()
+        l1.write(0x7000)
+        l1.begin_cycle()
+        l1.read(0x7000, lambda src: results.append(src))
+        pump(l1, hier, wheel, cfg.l1_latency + 5)
+        assert results == ["l1"]
+
+    def test_invalidate_then_read_misses(self):
+        l1, hier, counters, wheel, cfg = make()
+        results = []
+        l1.begin_cycle()
+        l1.write(0x7000)
+        l1.begin_cycle()
+        l1.invalidate(0x7000)
+        l1.begin_cycle()
+        l1.read(0x7000, lambda src: results.append(src))
+        pump(l1, hier, wheel, cfg.l2_latency + cfg.dram_latency + 10)
+        assert results == ["l2dram"]
+
+
+class TestHierarchyEdge:
+    def test_zero_latency_callbackless_write(self):
+        _, hier, counters, wheel, _ = make()
+        hier.request(0, 0x100, True, None)
+        wheel.tick()
+        hier.cycle()
+        assert counters.get("l2_access") == 1
+
+    def test_kind_tags_counted_separately(self):
+        l1, hier, counters, wheel, cfg = make()
+        hier.request(0, 0x100, False, None, kind="data")
+        l1.begin_cycle()
+        l1.read(0x200, lambda src: None)  # reg kind
+        pump(l1, hier, wheel, 5)
+        assert counters.get("icnt_data") == 1
+        assert counters.get("icnt_reg") == 1
+
+    def test_bursty_writes_eventually_complete(self):
+        _, hier, counters, wheel, cfg = make(dram_lines_per_cycle=0.5,
+                                             l2_kb=2, l2_assoc=2)
+        for i in range(30):
+            hier.request(0, i * 128, True, None)
+        pump_cycles = 0
+        while hier.busy and pump_cycles < 500:
+            wheel.tick()
+            hier.cycle()
+            pump_cycles += 1
+        assert not hier.busy

@@ -1,0 +1,106 @@
+from repro.energy import Counters
+from repro.mem import L1RegCache, MemoryHierarchy
+from repro.sim import EventWheel, GPUConfig
+
+
+def make(**overrides):
+    cfg = GPUConfig(**overrides)
+    counters = Counters()
+    wheel = EventWheel()
+    hier = MemoryHierarchy(cfg, counters, wheel)
+    l1 = L1RegCache(0, cfg, counters, wheel, hier)
+    return l1, hier, counters, wheel, cfg
+
+
+def pump(l1, hier, wheel, cycles):
+    for _ in range(cycles):
+        wheel.tick()
+        hier.cycle()
+        l1.begin_cycle()
+
+
+class TestPort:
+    def test_one_request_per_cycle(self):
+        l1, hier, counters, wheel, _ = make()
+        l1.begin_cycle()
+        assert l1.write(0)
+        assert not l1.write(128)  # port used
+        l1.begin_cycle()
+        assert l1.write(128)
+
+    def test_rejected_request_not_counted(self):
+        l1, hier, counters, wheel, _ = make()
+        l1.begin_cycle()
+        l1.write(0)
+        l1.write(128)
+        assert counters.get("l1_access") == 1
+
+
+class TestReads:
+    def test_miss_goes_to_l2(self):
+        l1, hier, counters, wheel, cfg = make()
+        results = []
+        l1.begin_cycle()
+        assert l1.read(0x3000, lambda src: results.append(src))
+        pump(l1, hier, wheel, cfg.l2_latency + cfg.dram_latency + 10)
+        assert results == ["l2dram"]
+        assert counters.get("l1_miss") == 1
+
+    def test_hit_after_fill(self):
+        l1, hier, counters, wheel, cfg = make()
+        results = []
+        l1.begin_cycle()
+        l1.read(0x3000, lambda src: results.append(src))
+        pump(l1, hier, wheel, cfg.l2_latency + cfg.dram_latency + 10)
+        l1.begin_cycle()
+        l1.read(0x3000, lambda src: results.append(src))
+        pump(l1, hier, wheel, cfg.l1_latency + 5)
+        assert results == ["l2dram", "l1"]
+        assert counters.get("l1_hit") == 1
+
+    def test_mshr_merging(self):
+        l1, hier, counters, wheel, cfg = make()
+        results = []
+        l1.begin_cycle()
+        l1.read(0x3000, lambda src: results.append("a"))
+        l1.begin_cycle()
+        l1.read(0x3000, lambda src: results.append("b"))
+        pump(l1, hier, wheel, cfg.l2_latency + cfg.dram_latency + 10)
+        assert sorted(results) == ["a", "b"]
+        # Only one request went downstream.
+        assert counters.get("l2_reg_access") == 1
+
+
+class TestWrites:
+    def test_write_allocates_without_fetch(self):
+        l1, hier, counters, wheel, _ = make()
+        l1.begin_cycle()
+        assert l1.write(0x4000)
+        assert l1.contains(0x4000)
+        assert counters.get("l2_access") == 0  # no fetch
+
+    def test_dirty_victim_written_back(self):
+        l1, hier, counters, wheel, _ = make(l1_kb=1, l1_assoc=2)  # 8 lines
+        for i in range(16):
+            l1.begin_cycle()
+            l1.write(i * 128)
+        pump(l1, hier, wheel, 10)
+        assert counters.get("l1_writeback") > 0
+
+
+class TestInvalidate:
+    def test_invalidate_drops_line(self):
+        l1, hier, counters, wheel, _ = make()
+        l1.begin_cycle()
+        l1.write(0x5000)
+        l1.begin_cycle()
+        assert l1.invalidate(0x5000)
+        assert not l1.contains(0x5000)
+        # No writeback traffic for a dead line.
+        assert counters.get("l1_writeback") == 0
+
+    def test_invalidate_needs_port(self):
+        l1, hier, counters, wheel, _ = make()
+        l1.begin_cycle()
+        l1.write(0)
+        assert not l1.invalidate(0)

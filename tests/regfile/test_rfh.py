@@ -1,0 +1,79 @@
+from repro.compiler import compile_kernel
+from repro.regfile import RFHStorage, assign_levels
+from repro.regfile.rfh import LRF, MRF, ORF
+from repro.sim import run_simulation
+
+
+class TestLevelAssignment:
+    def test_immediate_consumption_goes_lrf(self):
+        from repro.isa import KernelBuilder
+
+        b = KernelBuilder("k")
+        b.block("entry")
+        t1, t2 = b.fresh(2)
+        b.iadd(t1, b.reg(0), 1)
+        b.iadd(t2, t1, 2)  # consumed immediately, never again
+        b.stg(b.reg(1), t2)
+        b.exit()
+        ck = compile_kernel(b.build())
+        assignment = assign_levels(ck)
+        # t1's def is pc 0; its only use is pc 1.
+        assert assignment.write_level[(0, t1.index)] == LRF
+
+    def test_cross_block_values_read_from_mrf(self, compiled_loop):
+        assignment = assign_levels(compiled_loop)
+        kernel = compiled_loop.kernel
+        liveness = compiled_loop.liveness
+        for pc, label, insn in kernel.iter_pcs():
+            for r in insn.reg_srcs:
+                level = assignment.read_level.get((pc, r.index), MRF)
+                if level != MRF:
+                    # Small-structure reads never cross block boundaries.
+                    block_pcs = kernel.pcs_of_block(label)
+                    defs_in_block = [
+                        p for p in block_pcs
+                        if p < pc and r in kernel.insn_at(p).reg_dsts
+                    ]
+                    assert defs_in_block
+
+    def test_escaping_values_written_through(self, compiled_loop):
+        assignment = assign_levels(compiled_loop)
+        liveness = compiled_loop.liveness
+        kernel = compiled_loop.kernel
+        for (pc, reg_idx), level in assignment.write_level.items():
+            if level == MRF:
+                continue
+            from repro.isa import Reg
+            label = kernel.block_of_pc(pc)
+            if Reg(reg_idx) in liveness.live_out[label]:
+                assert (pc, reg_idx) in assignment.writethrough
+
+    def test_orf_capacity_respected(self, compiled_loop):
+        # With zero ORF entries, nothing may land in the ORF.
+        assignment = assign_levels(compiled_loop, orf_entries=0)
+        assert all(level != ORF for level in assignment.write_level.values())
+
+
+class TestRFHRun:
+    def test_counters_split_across_levels(self, loop_workload, fast_config):
+        ck = compile_kernel(loop_workload.kernel())
+        cfg = fast_config.with_(scheduler="two_level")
+        stats = run_simulation(cfg, ck, loop_workload,
+                               lambda sm, sh: RFHStorage(ck))
+        small = (stats.counter("rfh_lrf_read") + stats.counter("rfh_orf_read")
+                 + stats.counter("rfh_lrf_write") + stats.counter("rfh_orf_write"))
+        assert small > 0
+        assert stats.counter("rf_read") + stats.counter("rf_write") > 0
+        assert stats.finished
+
+    def test_total_reads_preserved(self, loop_workload, fast_config):
+        from repro.regfile import BaselineRF
+        ck = compile_kernel(loop_workload.kernel())
+        base = run_simulation(fast_config, ck, loop_workload,
+                              lambda sm, sh: BaselineRF())
+        cfg = fast_config.with_(scheduler="two_level")
+        rfh = run_simulation(cfg, ck, loop_workload,
+                             lambda sm, sh: RFHStorage(ck))
+        rfh_reads = (rfh.counter("rf_read") + rfh.counter("rfh_lrf_read")
+                     + rfh.counter("rfh_orf_read"))
+        assert rfh_reads == base.counter("rf_read")

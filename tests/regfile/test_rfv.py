@@ -1,0 +1,69 @@
+from repro.compiler import compile_kernel
+from repro.regfile import BaselineRF, RFVStorage
+from repro.sim import run_simulation
+
+
+class TestRenaming:
+    def test_completes_with_ample_capacity(self, loop_workload, fast_config):
+        ck = compile_kernel(loop_workload.kernel())
+        stats = run_simulation(fast_config, ck, loop_workload,
+                               lambda sm, sh: RFVStorage(ck))
+        assert stats.finished
+        assert stats.counter("rfv_read") > 0
+        assert stats.counter("rfv_write") > 0
+
+    def test_access_counts_match_baseline(self, loop_workload, fast_config):
+        ck = compile_kernel(loop_workload.kernel())
+        base = run_simulation(fast_config, ck, loop_workload,
+                              lambda sm, sh: BaselineRF())
+        rfv = run_simulation(fast_config, ck, loop_workload,
+                             lambda sm, sh: RFVStorage(ck))
+        assert rfv.counter("rfv_read") == base.counter("rf_read")
+        assert rfv.counter("rfv_write") == base.counter("rf_write")
+
+
+class TestPressure:
+    def test_scarce_physical_registers_stall(self, loop_workload, fast_config):
+        ck = compile_kernel(loop_workload.kernel())
+        tight = run_simulation(
+            fast_config, ck, loop_workload,
+            lambda sm, sh: RFVStorage(ck, phys_regs_per_shard=16),
+        )
+        ample = run_simulation(
+            fast_config, ck, loop_workload,
+            lambda sm, sh: RFVStorage(ck, phys_regs_per_shard=256),
+        )
+        assert tight.finished
+        assert tight.counter("rfv_stall_cycles") > ample.counter("rfv_stall_cycles")
+        assert tight.cycles >= ample.cycles
+
+    def test_dead_registers_recycled(self, loop_workload, fast_config):
+        # Capacity far below (warps x total regs) but enough for live values:
+        # the run still completes because deaths free physical registers.
+        ck = compile_kernel(loop_workload.kernel())
+        n_live = ck.liveness.max_live()
+        warps_per_shard = fast_config.warps_per_scheduler
+        stats = run_simulation(
+            fast_config, ck, loop_workload,
+            lambda sm, sh: RFVStorage(
+                ck, phys_regs_per_shard=n_live * warps_per_shard + 4
+            ),
+        )
+        assert stats.finished
+
+
+class TestExitCleanup:
+    def test_warp_exit_frees_mappings(self, loop_workload, fast_config):
+        from repro.sim.gpu import GPU
+
+        ck = compile_kernel(loop_workload.kernel())
+        storages = []
+
+        def factory(sm, sh):
+            s = RFVStorage(ck)
+            storages.append(s)
+            return s
+
+        gpu = GPU(fast_config, ck, loop_workload, factory)
+        gpu.run()
+        assert all(s.allocated == 0 for s in storages)

@@ -1,0 +1,97 @@
+"""End-to-end RegLess backend behaviour and cross-backend invariants."""
+
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.regfile import BaselineRF
+from repro.regless import ReglessConfig, ReglessStorage
+from repro.sim import run_simulation
+
+
+class TestEquivalenceWithBaseline:
+    """RegLess only changes *where operands live*; the computation —
+    dynamic instruction counts, memory traffic of the program itself —
+    must match the baseline exactly."""
+
+    def test_same_instruction_count(self, loop_workload, fast_config):
+        ck = compile_kernel(loop_workload.kernel())
+        base = run_simulation(fast_config, ck, loop_workload,
+                              lambda sm, sh: BaselineRF())
+        rl = run_simulation(fast_config, ck, loop_workload,
+                            lambda sm, sh: ReglessStorage(ck))
+        assert base.instructions == rl.instructions
+
+    def test_same_data_memory_traffic(self, loop_workload, fast_config):
+        ck = compile_kernel(loop_workload.kernel())
+        base = run_simulation(fast_config, ck, loop_workload,
+                              lambda sm, sh: BaselineRF())
+        rl = run_simulation(fast_config, ck, loop_workload,
+                            lambda sm, sh: ReglessStorage(ck))
+        assert base.counter("gmem_load_lines") == rl.counter("gmem_load_lines")
+        assert base.counter("gmem_store_lines") == rl.counter("gmem_store_lines")
+
+    def test_same_divergence(self, diamond_workload, fast_config):
+        ck = compile_kernel(diamond_workload.kernel())
+        base = run_simulation(fast_config, ck, diamond_workload,
+                              lambda sm, sh: BaselineRF())
+        rl = run_simulation(fast_config, ck, diamond_workload,
+                            lambda sm, sh: ReglessStorage(ck))
+        assert base.counter("divergent_branch") == rl.counter("divergent_branch")
+
+
+class TestOperandAccounting:
+    def test_osu_reads_match_operand_reads(self, loop_workload, fast_config):
+        ck = compile_kernel(loop_workload.kernel())
+        rl = run_simulation(fast_config, ck, loop_workload,
+                            lambda sm, sh: ReglessStorage(ck))
+        base = run_simulation(fast_config, ck, loop_workload,
+                              lambda sm, sh: BaselineRF())
+        assert rl.counter("osu_read") == base.counter("rf_read")
+        assert rl.counter("osu_write") == base.counter("rf_write")
+
+    def test_preload_sources_partition(self, loop_workload, fast_config):
+        ck = compile_kernel(loop_workload.kernel())
+        rl = run_simulation(fast_config, ck, loop_workload,
+                            lambda sm, sh: ReglessStorage(ck))
+        total = rl.counter("preloads")
+        parts = sum(
+            rl.counter(f"preload_src_{s}")
+            for s in ("osu", "compressor", "const", "l1", "l2dram")
+        )
+        assert total == parts > 0
+
+    def test_preloads_mostly_hit_osu_or_const(self, loop_workload, fast_config):
+        ck = compile_kernel(loop_workload.kernel())
+        rl = run_simulation(fast_config, ck, loop_workload,
+                            lambda sm, sh: ReglessStorage(ck))
+        near = (rl.counter("preload_src_osu") + rl.counter("preload_src_const")
+                + rl.counter("preload_src_compressor"))
+        assert near / rl.counter("preloads") > 0.8
+
+
+class TestDeterminism:
+    def test_repeat_runs_identical(self, loop_workload, fast_config):
+        ck = compile_kernel(loop_workload.kernel())
+        runs = [
+            run_simulation(fast_config, ck, loop_workload,
+                           lambda sm, sh: ReglessStorage(ck))
+            for _ in range(2)
+        ]
+        assert runs[0].cycles == runs[1].cycles
+        assert runs[0].counters == runs[1].counters
+
+
+class TestRodiniaSubset:
+    """Three structurally different benchmarks, run end to end."""
+
+    @pytest.mark.parametrize("name", ["bfs", "streamcluster", "nw"])
+    def test_completes_without_read_misses(self, name, fast_config):
+        from repro.workloads import make_workload
+
+        wl = make_workload(name)
+        ck = compile_kernel(wl.kernel())
+        stats = run_simulation(fast_config, ck, wl,
+                               lambda sm, sh: ReglessStorage(ck))
+        assert stats.finished
+        assert stats.counter("osu_read_miss") == 0
+        assert stats.counter("osu_overflow_activation") == 0

@@ -1,0 +1,191 @@
+"""Direct unit tests of CapacityManager policies using a stub OSU."""
+
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.energy import Counters
+from repro.regless.capacity import CapacityManager, WarpState
+from repro.regless.config import ReglessConfig
+from repro.sim import Warp
+
+
+class StubBank:
+    def __init__(self, capacity):
+        self.capacity = capacity
+
+
+class StubOSU:
+    """Just enough OSU for the CM: geometry + queues-as-lists."""
+
+    def __init__(self, banks=8, lines_per_bank=4):
+        self.banks = [StubBank(lines_per_bank) for _ in range(banks)]
+        self.preloads = []
+        self.invalidates = []
+
+    def rotate_usage(self, usage, warp_id):
+        n = len(self.banks)
+        rotated = [0] * n
+        for b, count in enumerate(usage):
+            rotated[(b + warp_id) % n] = count
+        return rotated
+
+    def reservable(self, rotated, reserved):
+        return all(
+            reserved[b] + need <= self.banks[b].capacity
+            for b, need in enumerate(rotated)
+        )
+
+    def enqueue_preload(self, wid, reg, invalidate):
+        self.preloads.append((wid, reg, invalidate))
+
+    def enqueue_invalidate(self, wid, reg):
+        self.invalidates.append((wid, reg))
+
+
+@pytest.fixture
+def rig(compiled_loop):
+    config = ReglessConfig()
+    osu = StubOSU()
+    counters = Counters()
+    warps = [
+        Warp(wid=i, shard_id=0, cta_id=0, entry_pc=0,
+             sentinel_pc=compiled_loop.kernel.num_instructions + 1)
+        for i in range(4)
+    ]
+    cm = CapacityManager(config, compiled_loop, counters, osu, warps)
+    return cm, osu, warps, counters
+
+
+class TestAdmission:
+    def test_first_cycle_admits_top_of_stack(self, rig):
+        cm, osu, warps, _ = rig
+        cm.cycle(now=1)
+        states = [cm.state_of(w.wid) for w in warps]
+        assert WarpState.PRELOADING in states or WarpState.ACTIVE in states
+
+    def test_preloads_enqueued_per_annotation(self, rig, compiled_loop):
+        cm, osu, warps, _ = rig
+        cm.cycle(now=1)
+        admitted = next(
+            w for w in warps
+            if cm.state_of(w.wid) is not WarpState.INACTIVE
+        )
+        region = cm.active_region(admitted.wid)
+        ann = compiled_loop.annotations[region.rid]
+        assert len(osu.preloads) == len(ann.preloads)
+
+    def test_zero_preload_region_activates_immediately(self, rig, compiled_loop):
+        cm, osu, warps, _ = rig
+        cm.cycle(now=1)
+        admitted = next(
+            w for w in warps
+            if cm.state_of(w.wid) is not WarpState.INACTIVE
+        )
+        region = cm.active_region(admitted.wid)
+        ann = compiled_loop.annotations[region.rid]
+        if not ann.preloads:
+            assert cm.state_of(admitted.wid) is WarpState.ACTIVE
+
+    def test_preload_completion_activates(self, rig):
+        cm, osu, warps, _ = rig
+        cm.cycle(now=1)
+        for wid, reg, inval in osu.preloads:
+            cm.on_preload_done(wid, "osu")
+        admitted = osu.preloads[0][0] if osu.preloads else warps[0].wid
+        assert cm.state_of(admitted) in (WarpState.ACTIVE,)
+
+    def test_reservations_tracked(self, rig):
+        cm, osu, warps, _ = rig
+        cm.cycle(now=1)
+        assert sum(cm.reserved) > 0
+
+
+class TestDrain:
+    def admit_and_activate(self, cm, osu, warps):
+        cm.cycle(now=1)
+        for wid, reg, inval in list(osu.preloads):
+            cm.on_preload_done(wid, "osu")
+        return next(w for w in warps
+                    if cm.state_of(w.wid) is WarpState.ACTIVE)
+
+    def test_drain_with_no_inflight_finishes_immediately(self, rig):
+        cm, osu, warps, _ = rig
+        warp = self.admit_and_activate(cm, osu, warps)
+        cm.on_last_issue(warp, now=5)
+        assert cm.state_of(warp.wid) is WarpState.INACTIVE
+        assert sum(cm.reserved) == 0
+        assert cm.stack[-1] == warp.wid  # re-pushed on top
+
+    def test_drain_keeps_only_pending_banks(self, rig):
+        cm, osu, warps, _ = rig
+        warp = self.admit_and_activate(cm, osu, warps)
+        warp.inflight = 1
+        warp.pending_regs = {3: 1}
+        before = sum(cm.reserved)
+        cm.on_last_issue(warp, now=5)
+        assert cm.state_of(warp.wid) is WarpState.DRAINING
+        assert sum(cm.reserved) <= min(before, 1)
+        warp.inflight = 0
+        cm.on_writeback(warp, now=9)
+        assert cm.state_of(warp.wid) is WarpState.INACTIVE
+        assert sum(cm.reserved) == 0
+
+    def test_region_cycle_accounting(self, rig):
+        cm, osu, warps, _ = rig
+        warp = self.admit_and_activate(cm, osu, warps)
+        cm.on_last_issue(warp, now=42)
+        assert cm.region_executions == 1
+        assert cm.mean_region_cycles() > 0
+
+
+class TestAgingAndExit:
+    def test_aged_warp_wins_over_stack_top(self, rig):
+        cm, osu, warps, _ = rig
+        # Force the bottom warp to be ancient.
+        bottom = cm.stack[0]
+        cm.ctx[bottom].inactive_since = -10_000
+        picked = cm._pick_candidate(now=1)
+        assert picked == bottom
+
+    def test_recent_top_wins_without_aging(self, rig):
+        cm, osu, warps, _ = rig
+        for wid in cm.stack:
+            cm.ctx[wid].inactive_since = 0
+        assert cm._pick_candidate(now=10) == cm.stack[-1]
+
+    def test_exited_warp_removed_from_stack(self, rig):
+        cm, osu, warps, _ = rig
+        top = cm.stack[-1]
+        warps[top].exited = True
+        # The top-of-stack warp has exited; admission must drop it and
+        # reserve nothing on its behalf.
+        cm.cycle(now=1)
+        assert top not in cm.stack
+        assert sum(cm.reserved) == 0
+
+    def test_exit_mid_region_releases(self, rig):
+        cm, osu, warps, _ = rig
+        cm.cycle(now=1)
+        for wid, reg, inval in list(osu.preloads):
+            cm.on_preload_done(wid, "osu")
+        warp = next(w for w in warps
+                    if cm.state_of(w.wid) is WarpState.ACTIVE)
+        warp.exited = True
+        cm.on_warp_exit(warp, now=7)
+        assert cm.state_of(warp.wid) is WarpState.FINISHED
+        assert sum(cm.reserved) == 0
+
+
+class TestMetadata:
+    def test_consumed_once_per_activation(self, rig, compiled_loop):
+        cm, osu, warps, _ = rig
+        cm.cycle(now=1)
+        for wid, reg, inval in list(osu.preloads):
+            cm.on_preload_done(wid, "osu")
+        warp = next(w for w in warps
+                    if cm.state_of(w.wid) is WarpState.ACTIVE)
+        region = cm.active_region(warp.wid)
+        first = cm.consume_metadata(warp, region.start_pc)
+        second = cm.consume_metadata(warp, region.start_pc)
+        assert first >= 1
+        assert second == 0

@@ -1,0 +1,103 @@
+from repro.energy import Counters
+from repro.regless import Compressor, RegisterMapping, match_pattern
+from repro.sim import LaneValues
+
+
+def make(cache_lines=2, enabled=True):
+    counters = Counters()
+    mapping = RegisterMapping(n_warps=8, n_regs=16)
+    return Compressor(counters, mapping, cache_lines, enabled), counters, mapping
+
+
+class TestPatternMatching:
+    def test_constant(self):
+        assert match_pattern(LaneValues.uniform(5)) == "constant"
+
+    def test_strides(self):
+        assert match_pattern(LaneValues.affine(0, 1)) == "stride1"
+        assert match_pattern(LaneValues.affine(9, 4)) == "stride4"
+        assert match_pattern(LaneValues.affine(9, -4)) == "stride4"
+
+    def test_other_strides_incompressible(self):
+        assert match_pattern(LaneValues.affine(0, 3)) is None
+
+    def test_random_incompressible(self):
+        assert match_pattern(LaneValues.random(7)) is None
+
+
+class TestCompressionPath:
+    def test_compress_sets_bit(self):
+        c, counters, _ = make()
+        ok, victim = c.try_compress(2, 1, LaneValues.uniform(3))
+        assert ok and victim is None
+        assert c.is_compressed(2, 1)
+        assert counters.get("compress_constant") == 1
+
+    def test_incompressible_clears_bit(self):
+        c, _, _ = make()
+        c.try_compress(2, 1, LaneValues.uniform(3))
+        ok, _ = c.try_compress(2, 1, LaneValues.random(9))
+        assert not ok
+        assert not c.is_compressed(2, 1)
+
+    def test_disabled_compressor_rejects(self):
+        c, _, _ = make(enabled=False)
+        ok, _ = c.try_compress(0, 0, LaneValues.uniform(1))
+        assert not ok
+
+    def test_cache_eviction_returns_dirty_line(self):
+        c, _, m = make(cache_lines=1)
+        # Two registers mapping to different compressed lines.
+        c.try_compress(0, 0, LaneValues.uniform(1))
+        far_reg = 15  # slot far enough to be in another compressed line
+        ok, victim = c.try_compress(far_reg, 7, LaneValues.uniform(2))
+        assert ok
+        assert victim is not None  # the first dirty line spilled to L1
+
+
+class TestPreloadPath:
+    def test_cache_hit_after_compress(self):
+        c, counters, _ = make()
+        c.begin_cycle()
+        c.try_compress(2, 1, LaneValues.uniform(3))
+        c.begin_cycle()
+        assert c.fetch(2, 1) == "compressor"
+        assert counters.get("compressor_hit") == 1
+
+    def test_fetch_from_l1_when_line_not_cached(self):
+        c, _, _ = make(cache_lines=1)
+        c.begin_cycle()
+        c.try_compress(0, 0, LaneValues.uniform(1))
+        c.try_compress(15, 7, LaneValues.uniform(2))  # evicts first line
+        c.begin_cycle()
+        assert c.fetch(0, 0) == "l1"
+
+    def test_port_is_per_cycle(self):
+        c, _, _ = make()
+        c.begin_cycle()
+        c.try_compress(2, 1, LaneValues.uniform(3))
+        c.begin_cycle()
+        assert c.fetch(2, 1) == "compressor"
+        assert c.fetch(2, 1) is None  # port used this cycle
+
+    def test_install_line_makes_future_hits(self):
+        c, _, _ = make()
+        c._bitvec.add(c.mapping.slot(3, 2))  # pretend compressed in L1
+        c.begin_cycle()
+        assert c.fetch(3, 2) == "l1"
+        c.install_line(3, 2)
+        c.begin_cycle()
+        assert c.fetch(3, 2) == "compressor"
+
+
+class TestInvalidate:
+    def test_invalidate_clears_bit(self):
+        c, _, _ = make()
+        c.try_compress(2, 1, LaneValues.uniform(3))
+        c.invalidate(2, 1)
+        assert not c.is_compressed(2, 1)
+        assert c.compressed_count == 0
+
+    def test_invalidate_absent_is_noop(self):
+        c, _, _ = make()
+        c.invalidate(5, 5)

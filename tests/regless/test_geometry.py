@@ -1,0 +1,73 @@
+"""Geometry sensitivity: RegLess works across bank counts and shard splits.
+
+The paper fixes 8 banks per OSU; the compiler's bank-usage annotations and
+the hardware's rotation must stay consistent for any geometry, so these
+sweep the bank count (compiler and hardware together) and the shard count.
+"""
+
+import pytest
+
+from repro.compiler import RegionConfig, compile_kernel
+from repro.regfile import BaselineRF
+from repro.regless import ReglessConfig, ReglessStorage
+from repro.sim import run_simulation
+from repro.workloads import make_workload
+
+
+@pytest.mark.parametrize("banks", [4, 8, 16])
+def test_bank_count_sweep(fast_config, banks):
+    wl = make_workload("streamcluster")
+    ck = compile_kernel(wl.kernel(), RegionConfig(banks=banks))
+    rcfg = ReglessConfig(
+        osu_entries_per_sm=512,
+        shards_per_sm=fast_config.schedulers_per_sm,
+        banks_per_shard=banks,
+    )
+    stats = run_simulation(fast_config, ck, wl,
+                           lambda sm, sh: ReglessStorage(ck, rcfg))
+    assert stats.finished
+    assert stats.counter("osu_read_miss") == 0
+
+
+@pytest.mark.parametrize("banks", [4, 8, 16])
+def test_bank_usage_annotation_matches_geometry(banks):
+    wl = make_workload("hotspot")
+    ck = compile_kernel(wl.kernel(), RegionConfig(banks=banks))
+    for region in ck.regions:
+        assert len(region.bank_usage) == banks
+
+
+def test_mismatched_geometry_still_safe(fast_config):
+    """Compiling for 8 banks but running 4-bank hardware is wasteful (the
+    per-bank guarantees are wrong) but must not break correctness — the
+    emergency valve and evictable lines absorb it."""
+    wl = make_workload("streamcluster")
+    ck = compile_kernel(wl.kernel(), RegionConfig(banks=8))
+    rcfg = ReglessConfig(
+        osu_entries_per_sm=256,
+        shards_per_sm=fast_config.schedulers_per_sm,
+        banks_per_shard=4,
+    )
+    stats = run_simulation(fast_config, ck, wl,
+                           lambda sm, sh: ReglessStorage(ck, rcfg))
+    assert stats.finished
+    assert stats.counter("osu_read_miss") == 0
+
+
+def test_performance_insensitive_to_bank_count(fast_config):
+    """With ample capacity, 4 vs 16 banks should not change run time much
+    (bank rotation spreads usage either way)."""
+    wl = make_workload("nw")
+    cycles = {}
+    for banks in (4, 16):
+        ck = compile_kernel(wl.kernel(), RegionConfig(banks=banks))
+        rcfg = ReglessConfig(
+            osu_entries_per_sm=512,
+            shards_per_sm=fast_config.schedulers_per_sm,
+            banks_per_shard=banks,
+        )
+        stats = run_simulation(fast_config, ck, wl,
+                               lambda sm, sh: ReglessStorage(ck, rcfg))
+        cycles[banks] = stats.cycles
+    ratio = cycles[4] / cycles[16]
+    assert 0.7 < ratio < 1.4

@@ -1,0 +1,57 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.regless import REGS_PER_COMPRESSED_LINE, RegisterMapping
+
+
+def make(n_warps=64, n_regs=16):
+    return RegisterMapping(n_warps=n_warps, n_regs=n_regs)
+
+
+class TestAddresses:
+    def test_same_register_different_warps_sequential(self):
+        m = make()
+        a0 = m.address(3, 0)
+        a1 = m.address(3, 1)
+        assert a1 - a0 == m.line_bytes
+
+    def test_register_major_layout(self):
+        m = make(n_warps=64)
+        assert m.address(1, 0) - m.address(0, 0) == 64 * m.line_bytes
+
+    def test_line_aligned(self):
+        m = make()
+        for reg in range(4):
+            for warp in (0, 17, 63):
+                assert m.address(reg, warp) % m.line_bytes == 0
+
+    def test_out_of_range_register_rejected(self):
+        with pytest.raises(ValueError):
+            make(n_regs=4).address(4, 0)
+
+    @given(st.integers(0, 15), st.integers(0, 63),
+           st.integers(0, 15), st.integers(0, 63))
+    @settings(max_examples=100)
+    def test_unique_addresses(self, r1, w1, r2, w2):
+        m = make()
+        if (r1, w1) != (r2, w2):
+            assert m.address(r1, w1) != m.address(r2, w2)
+
+
+class TestCompressedSpace:
+    def test_disjoint_from_uncompressed(self):
+        m = make()
+        top_uncompressed = m.address(15, 63)
+        assert m.compressed_address(0, 0) > top_uncompressed
+
+    def test_fifteen_registers_per_line(self):
+        m = make(n_warps=1, n_regs=64)
+        first_line = {m.compressed_address(r, 0) for r in range(
+            REGS_PER_COMPRESSED_LINE)}
+        assert len(first_line) == 1
+        next_line = m.compressed_address(REGS_PER_COMPRESSED_LINE, 0)
+        assert next_line not in first_line
+
+    def test_capacity_accounting(self):
+        m = make(n_warps=4, n_regs=8)
+        assert m.uncompressed_bytes == 4 * 8 * 128

@@ -1,0 +1,121 @@
+from repro.regless.osu import Bank
+
+
+def key(w, r):
+    return (w, r)
+
+
+class TestAllocate:
+    def test_allocate_until_full(self):
+        b = Bank(capacity=2)
+        b.allocate(key(0, 0))
+        b.allocate(key(0, 1))
+        assert b.free == 0
+        assert b.active_count == 2
+
+    def test_clean_evicted_silently(self):
+        b = Bank(capacity=1)
+        b.allocate(key(0, 0))
+        b.mark_evictable(key(0, 0))
+        ok, victim = b.allocate(key(0, 1))
+        assert ok and victim is None
+        assert not b.has(key(0, 0))
+
+    def test_dirty_eviction_returns_victim(self):
+        b = Bank(capacity=1)
+        b.allocate(key(0, 0))
+        b.mark_dirty(key(0, 0))
+        b.mark_evictable(key(0, 0))
+        ok, victim = b.allocate(key(0, 1))
+        assert ok and victim == key(0, 0)
+
+    def test_clean_preferred_over_dirty(self):
+        b = Bank(capacity=2)
+        b.allocate(key(0, 0))
+        b.mark_dirty(key(0, 0))
+        b.mark_evictable(key(0, 0))
+        b.allocate(key(0, 1))
+        b.mark_evictable(key(0, 1))  # clean
+        ok, victim = b.allocate(key(0, 2))
+        assert victim is None  # clean victim chosen, dropped silently
+        assert b.has(key(0, 0))  # dirty survivor
+
+    def test_all_active_overflows_visibly(self):
+        b = Bank(capacity=1)
+        b.allocate(key(0, 0))
+        ok, victim = b.allocate(key(0, 1))
+        assert ok and victim is None
+        assert b.overflow == 1
+
+    def test_allocate_existing_reacquires(self):
+        b = Bank(capacity=2)
+        b.allocate(key(0, 0))
+        b.mark_evictable(key(0, 0))
+        ok, victim = b.allocate(key(0, 0))
+        assert ok and victim is None
+        assert b.active_count == 1
+
+
+class TestAcquireEraseEvictable:
+    def test_acquire_from_clean_list(self):
+        b = Bank(capacity=2)
+        b.allocate(key(0, 0))
+        b.mark_evictable(key(0, 0))
+        assert len(b.clean) == 1
+        assert b.acquire(key(0, 0))
+        assert len(b.clean) == 0
+        assert b.active_count == 1
+
+    def test_acquire_missing(self):
+        assert not Bank(2).acquire(key(0, 0))
+
+    def test_erase_removes_everywhere(self):
+        b = Bank(capacity=2)
+        b.allocate(key(0, 0))
+        b.mark_dirty(key(0, 0))
+        b.mark_evictable(key(0, 0))
+        assert b.erase(key(0, 0))
+        assert not b.has(key(0, 0))
+        assert len(b.dirty) == 0
+        assert b.free == 2
+
+    def test_erase_missing(self):
+        assert not Bank(2).erase(key(0, 0))
+
+    def test_mark_evictable_respects_dirty_flag(self):
+        b = Bank(capacity=2)
+        b.allocate(key(0, 0))
+        b.mark_evictable(key(0, 0))
+        assert key(0, 0) in b.clean
+        b2 = Bank(capacity=2)
+        b2.allocate(key(0, 1))
+        b2.mark_dirty(key(0, 1))
+        b2.mark_evictable(key(0, 1))
+        assert key(0, 1) in b2.dirty
+
+    def test_mark_dirty_moves_clean_to_dirty(self):
+        b = Bank(capacity=2)
+        b.allocate(key(0, 0))
+        b.mark_evictable(key(0, 0))  # clean
+        b.mark_dirty(key(0, 0))
+        assert key(0, 0) in b.dirty and key(0, 0) not in b.clean
+
+    def test_mark_evictable_on_evictable_is_noop(self):
+        b = Bank(capacity=2)
+        b.allocate(key(0, 0))
+        b.mark_evictable(key(0, 0))
+        b.mark_evictable(key(0, 0))
+        assert len(b.clean) == 1
+
+
+class TestLRUOrder:
+    def test_oldest_evictable_chosen_first(self):
+        b = Bank(capacity=3)
+        for r in range(3):
+            b.allocate(key(0, r))
+            b.mark_dirty(key(0, r))
+            b.mark_evictable(key(0, r))
+        _, victim = b.allocate(key(1, 0))
+        assert victim == key(0, 0)
+        _, victim = b.allocate(key(1, 1))
+        assert victim == key(0, 1)

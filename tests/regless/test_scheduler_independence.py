@@ -1,0 +1,31 @@
+"""Paper section 6.4: "RegLess is independent of the choice of warp
+scheduler" — it must work, unmodified, under every scheduler."""
+
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.regless import ReglessStorage
+from repro.sim import run_simulation
+from repro.workloads import make_workload
+
+
+@pytest.mark.parametrize("scheduler", ["gto", "lrr", "two_level"])
+def test_regless_under_every_scheduler(fast_config, scheduler):
+    wl = make_workload("streamcluster")
+    ck = compile_kernel(wl.kernel())
+    cfg = fast_config.with_(scheduler=scheduler)
+    stats = run_simulation(cfg, ck, wl, lambda sm, sh: ReglessStorage(ck))
+    assert stats.finished
+    assert stats.counter("osu_read_miss") == 0
+
+
+def test_scheduler_choice_does_not_change_work(fast_config):
+    wl = make_workload("kmeans")
+    ck = compile_kernel(wl.kernel())
+    counts = set()
+    for scheduler in ("gto", "lrr", "two_level"):
+        cfg = fast_config.with_(scheduler=scheduler)
+        stats = run_simulation(cfg, ck, wl,
+                               lambda sm, sh: ReglessStorage(ck))
+        counts.add(stats.instructions)
+    assert len(counts) == 1  # same dynamic instruction count everywhere

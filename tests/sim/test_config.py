@@ -1,0 +1,52 @@
+import dataclasses
+
+import pytest
+
+from repro.sim import GPUConfig
+
+
+class TestDerived:
+    def test_warps_per_scheduler(self):
+        cfg = GPUConfig(warps_per_sm=64, schedulers_per_sm=4)
+        assert cfg.warps_per_scheduler == 16
+
+    def test_l1_geometry(self):
+        cfg = GPUConfig(l1_kb=48, line_bytes=128)
+        assert cfg.l1_lines == 384
+
+    def test_l2_geometry(self):
+        cfg = GPUConfig(l2_kb=2048, line_bytes=128)
+        assert cfg.l2_lines == 16384
+
+
+class TestPresets:
+    def test_default_is_single_sm_gtx980_slice(self):
+        cfg = GPUConfig()
+        assert cfg.n_sms == 1
+        assert cfg.warps_per_sm == 64
+        assert cfg.schedulers_per_sm == 4
+        assert cfg.scheduler == "gto"
+        assert cfg.l1_ports == 1  # Table 1: one L1 request per cycle
+
+    def test_gtx980_has_sixteen_sms(self):
+        assert GPUConfig.gtx980().n_sms == 16
+
+    def test_fast_preset_small(self):
+        cfg = GPUConfig.fast()
+        assert cfg.warps_per_sm < GPUConfig().warps_per_sm
+
+
+class TestWith:
+    def test_with_returns_modified_copy(self):
+        base = GPUConfig()
+        derived = base.with_(scheduler="lrr")
+        assert derived.scheduler == "lrr"
+        assert base.scheduler == "gto"
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            GPUConfig().scheduler = "lrr"  # type: ignore[misc]
+
+    def test_dram_bandwidth_matches_table1(self):
+        # 224 GB/s at 1 GHz in 128-byte lines.
+        assert GPUConfig().dram_lines_per_cycle == pytest.approx(1.75)

@@ -1,0 +1,54 @@
+import pytest
+
+from repro.sim import EventWheel
+
+
+class TestScheduling:
+    def test_fires_at_exact_cycle(self):
+        w = EventWheel()
+        fired = []
+        w.at(3, lambda: fired.append(w.now))
+        for _ in range(5):
+            w.tick()
+        assert fired == [3]
+
+    def test_after_relative(self):
+        w = EventWheel()
+        fired = []
+        w.tick()
+        w.after(2, lambda: fired.append(w.now))
+        w.tick()
+        w.tick()
+        assert fired == [3]
+
+    def test_past_scheduling_rejected(self):
+        w = EventWheel()
+        w.tick()
+        with pytest.raises(ValueError):
+            w.at(1, lambda: None)
+        with pytest.raises(ValueError):
+            w.at(0, lambda: None)
+
+    def test_after_clamps_to_next_cycle(self):
+        w = EventWheel()
+        fired = []
+        w.after(0, lambda: fired.append(w.now))
+        w.tick()
+        assert fired == [1]
+
+    def test_multiple_events_same_cycle_in_order(self):
+        w = EventWheel()
+        fired = []
+        w.at(1, lambda: fired.append("a"))
+        w.at(1, lambda: fired.append("b"))
+        w.tick()
+        assert fired == ["a", "b"]
+
+    def test_pending_count(self):
+        w = EventWheel()
+        w.at(5, lambda: None)
+        w.at(6, lambda: None)
+        assert w.pending_events == 2
+        for _ in range(6):
+            w.tick()
+        assert w.pending_events == 0

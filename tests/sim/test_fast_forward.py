@@ -1,0 +1,34 @@
+"""The fast-forward optimization must be invisible in every result."""
+
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.regfile import BaselineRF
+from repro.regless import ReglessStorage
+from repro.sim import run_simulation
+
+
+@pytest.mark.parametrize("backend", ["baseline", "regless"])
+def test_fast_forward_is_result_invariant(loop_workload, fast_config, backend):
+    ck = compile_kernel(loop_workload.kernel())
+
+    def factory(sm, sh):
+        if backend == "baseline":
+            return BaselineRF()
+        return ReglessStorage(ck)
+
+    fast = run_simulation(fast_config, ck, loop_workload, factory)
+    slow = run_simulation(fast_config.with_(fast_forward=False), ck,
+                          loop_workload, factory)
+    assert fast.cycles == slow.cycles
+    assert fast.instructions == slow.instructions
+    assert fast.counters == slow.counters
+
+
+def test_fast_forward_invariant_with_divergence(diamond_workload, fast_config):
+    ck = compile_kernel(diamond_workload.kernel())
+    fast = run_simulation(fast_config, ck, diamond_workload,
+                          lambda sm, sh: BaselineRF())
+    slow = run_simulation(fast_config.with_(fast_forward=False), ck,
+                          diamond_workload, lambda sm, sh: BaselineRF())
+    assert fast.counters == slow.counters

@@ -1,0 +1,124 @@
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.isa import KernelBuilder
+from repro.regfile import BaselineRF
+from repro.sim import BernoulliLanes, GPUConfig, LoopExit, SimDeadlock, run_simulation
+from repro.sim.gpu import GPU
+from repro.workloads import Workload
+
+
+def run(workload, config, **kwargs):
+    ck = compile_kernel(workload.kernel())
+    return run_simulation(config, ck, workload, lambda sm, sh: BaselineRF(), **kwargs)
+
+
+class TestCompletion:
+    def test_all_warps_finish(self, loop_workload, fast_config):
+        stats = run(loop_workload, fast_config)
+        assert stats.finished
+        assert stats.warps_done == stats.warps_total == 8
+
+    def test_deterministic(self, loop_workload, fast_config):
+        a = run(loop_workload, fast_config)
+        b = run(loop_workload, fast_config)
+        assert a.cycles == b.cycles
+        assert a.counters == b.counters
+
+    def test_instruction_count_matches_trips(self, loop_workload, fast_config):
+        stats = run(loop_workload, fast_config)
+        # Per warp: 2 entry + 6*(setp+bra) + 5*(7 body) + 2 tail = 51.
+        per_warp = stats.instructions / stats.warps_total
+        assert per_warp == 51
+
+    def test_ipc_positive_and_bounded(self, loop_workload, fast_config):
+        stats = run(loop_workload, fast_config)
+        assert 0 < stats.ipc <= fast_config.schedulers_per_sm * fast_config.issue_width
+
+
+class TestDivergence:
+    def test_divergent_kernel_completes(self, diamond_workload, fast_config):
+        stats = run(diamond_workload, fast_config)
+        assert stats.finished
+        assert stats.counter("divergent_branch") > 0
+
+    def test_both_paths_execute(self, diamond_workload, fast_config):
+        stats = run(diamond_workload, fast_config)
+        # then (1) + else (1) + entry (4) + join (2) per warp when divergent.
+        per_warp = stats.instructions / stats.warps_total
+        assert per_warp == 8
+
+
+class TestBarriers:
+    def make_barrier_workload(self):
+        def build():
+            b = KernelBuilder("barrier")
+            b.block("entry")
+            t = b.fresh()
+            b.iadd(t, b.reg(0), 1)
+            b.bar()
+            b.imul(t, t, 2)
+            b.stg(b.reg(1), t)
+            b.exit()
+            return b.build()
+        return Workload(name="barrier", build=build, regalloc=False)
+
+    def test_barrier_synchronizes(self, fast_config):
+        stats = run(self.make_barrier_workload(), fast_config)
+        assert stats.finished
+
+
+class TestMemoryTraffic:
+    def test_loads_reach_memory(self, loop_workload, fast_config):
+        stats = run(loop_workload, fast_config)
+        assert stats.counter("gmem_load_lines") > 0
+        assert stats.counter("l2_access") > 0
+
+    def test_rf_accesses_counted(self, loop_workload, fast_config):
+        stats = run(loop_workload, fast_config)
+        assert stats.counter("rf_read") > 0
+        assert stats.counter("rf_write") > 0
+
+
+class TestWorkingSetTracking:
+    def test_samples_collected(self, loop_workload):
+        cfg = GPUConfig(warps_per_sm=8, schedulers_per_sm=2,
+                        track_working_set=True)
+        stats = run(loop_workload, cfg)
+        assert stats.working_set_samples
+        assert stats.working_set_kb() > 0
+
+    def test_window_series(self, loop_workload, fast_config):
+        stats = run(loop_workload, fast_config,
+                    window_series=("rf_read",))
+        series = stats.window_series["rf_read"]
+        assert sum(series) <= stats.counter("rf_read")
+        assert all(v >= 0 for v in series)
+
+
+class TestDeadlockDetection:
+    def test_infinite_loop_hits_max_cycles(self):
+        def build():
+            b = KernelBuilder("spin")
+            b.block("entry")
+            t = b.fresh()
+            b.mov(t, 0)
+            b.block("loop")
+            b.iadd(t, t, 1)
+            b.bra("loop")
+            return b.build()
+
+        wl = Workload(name="spin", build=build, regalloc=False)
+        cfg = GPUConfig(warps_per_sm=4, schedulers_per_sm=2, cta_size_warps=2,
+                        max_cycles=2000)
+        stats = run(wl, cfg)
+        assert not stats.finished
+        assert stats.cycles >= 2000
+
+
+class TestMultiSM:
+    def test_two_sms_double_the_warps(self, loop_workload, fast_config):
+        cfg = fast_config.with_(n_sms=2)
+        stats = run(loop_workload, cfg)
+        assert stats.warps_total == 16
+        assert stats.finished

@@ -1,0 +1,107 @@
+from repro.sim import (
+    AlwaysTaken,
+    BernoulliLanes,
+    BernoulliWarp,
+    DivergentLoopExit,
+    FULL_MASK,
+    LoadBehavior,
+    LoopExit,
+    NeverTaken,
+    Oracle,
+)
+
+
+class TestLoopExit:
+    def test_exits_on_final_trip(self):
+        b = LoopExit(trips=4)
+        masks = [b.mask(0, c, seed=1) for c in range(4)]
+        assert masks == [0, 0, 0, FULL_MASK]
+
+    def test_modular_for_nesting(self):
+        b = LoopExit(trips=3)
+        # Second loop instance (counts 3..5) behaves like the first.
+        assert b.mask(0, 5, seed=1) == FULL_MASK
+        assert b.mask(0, 3, seed=1) == 0
+
+    def test_per_warp_skew(self):
+        b = LoopExit(trips=3, per_warp_skew=2)
+        assert b.mask(0, 2, seed=1) == FULL_MASK  # 3 trips
+        assert b.mask(1, 2, seed=1) == 0          # 4 trips
+        assert b.mask(1, 3, seed=1) == FULL_MASK
+
+
+class TestDivergentLoopExit:
+    def test_lanes_exit_in_range(self):
+        b = DivergentLoopExit(min_trips=2, max_trips=5)
+        # By count max_trips-1 every lane has exited.
+        assert b.mask(3, 4, seed=7) == FULL_MASK
+        # Early on, not all lanes have exited.
+        assert b.mask(3, 0, seed=7) != FULL_MASK
+
+    def test_monotone_within_instance(self):
+        b = DivergentLoopExit(min_trips=1, max_trips=6)
+        prev = 0
+        for c in range(6):
+            mask = b.mask(2, c, seed=3)
+            assert mask & prev == prev  # lanes never un-exit
+            prev = mask
+
+
+class TestBernoulli:
+    def test_warp_uniform(self):
+        b = BernoulliWarp(0.5)
+        masks = {b.mask(w, c, seed=9) for w in range(8) for c in range(8)}
+        assert masks <= {0, FULL_MASK}
+        assert len(masks) == 2  # both outcomes occur
+
+    def test_lanes_divergent(self):
+        b = BernoulliLanes(0.5)
+        mask = b.mask(0, 0, seed=11)
+        assert 0 < mask < FULL_MASK  # overwhelmingly likely
+
+    def test_probability_extremes(self):
+        assert BernoulliLanes(0.0).mask(0, 0, 5) == 0
+        assert BernoulliLanes(1.0).mask(0, 0, 5) == FULL_MASK
+
+    def test_constants(self):
+        assert NeverTaken().mask(0, 0, 1) == 0
+        assert AlwaysTaken().mask(0, 0, 1) == FULL_MASK
+
+
+class TestLoadBehavior:
+    def test_fraction_of_kinds(self):
+        b = LoadBehavior(uniform_frac=0.5, affine_frac=0.5)
+        kinds = [b.value(w, c, seed=1).kind.value for w in range(4) for c in range(50)]
+        assert "random" not in kinds
+
+    def test_all_random(self):
+        b = LoadBehavior(uniform_frac=0.0, affine_frac=0.0)
+        vals = [b.value(0, c, seed=2) for c in range(20)]
+        assert all(v.is_random for v in vals)
+
+    def test_deterministic(self):
+        b = LoadBehavior()
+        assert b.value(3, 7, seed=5) == b.value(3, 7, seed=5)
+
+
+class TestOracle:
+    def test_counts_advance_per_warp_pc(self):
+        o = Oracle(pred_behaviors={"loop": LoopExit(trips=2)})
+        assert o.pred_mask(0, 10, "loop") == 0
+        assert o.pred_mask(0, 10, "loop") == FULL_MASK
+        # Different warp has its own count.
+        assert o.pred_mask(1, 10, "loop") == 0
+
+    def test_untagged_uses_default(self):
+        o = Oracle(default_pred=AlwaysTaken())
+        assert o.pred_mask(0, 0, None) == FULL_MASK
+
+    def test_load_values_by_tag(self):
+        o = Oracle(load_behaviors={"z": LoadBehavior(1.0, 0.0)})
+        assert o.load_value(0, 5, "z").is_uniform
+
+    def test_reset(self):
+        o = Oracle(pred_behaviors={"l": LoopExit(trips=2)})
+        o.pred_mask(0, 0, "l")
+        o.reset()
+        assert o.pred_mask(0, 0, "l") == 0

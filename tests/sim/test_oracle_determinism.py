@@ -1,0 +1,66 @@
+"""Cross-cutting oracle determinism and distribution sanity."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (
+    BernoulliLanes,
+    DivergentLoopExit,
+    FULL_MASK,
+    LoadBehavior,
+    LoopExit,
+    Oracle,
+)
+
+
+@given(st.integers(0, 63), st.integers(0, 200), st.integers(1, 10**6))
+@settings(max_examples=80)
+def test_behaviors_are_pure_functions(warp, count, seed):
+    for behavior in (
+        LoopExit(trips=4),
+        DivergentLoopExit(min_trips=2, max_trips=6),
+        BernoulliLanes(0.3),
+    ):
+        a = behavior.mask(warp, count, seed)
+        b = behavior.mask(warp, count, seed)
+        assert a == b
+        assert 0 <= a <= FULL_MASK
+
+
+@given(st.integers(1, 10**6))
+@settings(max_examples=30)
+def test_bernoulli_lane_rate_tracks_p(seed):
+    behavior = BernoulliLanes(0.25)
+    bits = 0
+    samples = 64
+    for count in range(samples):
+        bits += bin(behavior.mask(0, count, seed)).count("1")
+    rate = bits / (samples * 32)
+    assert 0.10 < rate < 0.45  # loose CI around 0.25
+
+
+@given(st.integers(1, 10**6))
+@settings(max_examples=30)
+def test_load_behavior_distribution(seed):
+    behavior = LoadBehavior(uniform_frac=0.5, affine_frac=0.25)
+    kinds = [behavior.value(0, c, seed).kind.value for c in range(200)]
+    uniform = kinds.count("uniform") / len(kinds)
+    assert 0.3 < uniform < 0.7
+
+
+def test_oracle_counts_isolated_by_pc_and_warp():
+    oracle = Oracle(pred_behaviors={"l": LoopExit(trips=2)})
+    # Interleave two PCs and two warps; each stream keeps its own phase.
+    assert oracle.pred_mask(0, 10, "l") == 0
+    assert oracle.pred_mask(0, 20, "l") == 0
+    assert oracle.pred_mask(1, 10, "l") == 0
+    assert oracle.pred_mask(0, 10, "l") == FULL_MASK
+    assert oracle.pred_mask(0, 20, "l") == FULL_MASK
+    assert oracle.pred_mask(1, 10, "l") == FULL_MASK
+
+
+def test_load_and_pred_counts_do_not_collide():
+    oracle = Oracle(pred_behaviors={"l": LoopExit(trips=2)},
+                    load_behaviors={"d": LoadBehavior(1.0, 0.0)})
+    oracle.load_value(0, 10, "d")
+    # The load at pc 10 must not advance the predicate stream at pc 10.
+    assert oracle.pred_mask(0, 10, "l") == 0

@@ -1,0 +1,106 @@
+from repro.compiler import compile_kernel
+from repro.regfile import BaselineRF
+from repro.sim.gpu import GPU
+
+
+def make_gpu(workload, config):
+    ck = compile_kernel(workload.kernel())
+    return GPU(config, ck, workload, lambda sm, sh: BaselineRF())
+
+
+class TestProgramViews:
+    def test_block_start_lookup(self, loop_workload, fast_config):
+        gpu = make_gpu(loop_workload, fast_config)
+        sm = gpu.sms[0]
+        kernel = gpu.compiled.kernel
+        for block in kernel.blocks:
+            assert sm.block_start(block.label) == kernel.block_start_pc(block.label)
+
+    def test_reconvergence_points_are_block_starts(self, diamond_workload, fast_config):
+        gpu = make_gpu(diamond_workload, fast_config)
+        sm = gpu.sms[0]
+        kernel = gpu.compiled.kernel
+        starts = {kernel.block_start_pc(b.label) for b in kernel.blocks}
+        starts.add(sm.program_len)
+        for pc in range(sm.program_len):
+            assert sm.reconv_pc(pc) in starts
+
+    def test_diamond_reconverges_at_join(self, diamond_workload, fast_config):
+        gpu = make_gpu(diamond_workload, fast_config)
+        sm = gpu.sms[0]
+        kernel = gpu.compiled.kernel
+        branch_pc = kernel.block_end_pc("entry") - 1
+        assert sm.reconv_pc(branch_pc) == kernel.block_start_pc("join")
+
+
+class TestWarpLayout:
+    def test_warps_partitioned_across_shards(self, loop_workload, fast_config):
+        gpu = make_gpu(loop_workload, fast_config)
+        sm = gpu.sms[0]
+        all_wids = [w.wid for shard in sm.shards for w in shard.warps]
+        assert sorted(all_wids) == list(range(fast_config.warps_per_sm))
+
+    def test_cta_ids_contiguous(self, loop_workload, fast_config):
+        gpu = make_gpu(loop_workload, fast_config)
+        for sm in gpu.sms:
+            for warp in sm.warps:
+                assert warp.cta_id == (
+                    warp.wid % fast_config.warps_per_sm
+                ) // fast_config.cta_size_warps
+
+    def test_initial_registers_installed(self, loop_workload, fast_config):
+        gpu = make_gpu(loop_workload, fast_config)
+        warp = gpu.sms[0].warps[1]
+        expected = loop_workload.initial_regs(warp.wid)
+        for idx, value in expected.items():
+            assert warp.regs[idx] == value
+
+    def test_multi_sm_unique_global_warp_ids(self, loop_workload, fast_config):
+        gpu = make_gpu(loop_workload, fast_config.with_(n_sms=2))
+        wids = [w.wid for sm in gpu.sms for w in sm.warps]
+        assert len(set(wids)) == len(wids) == 16
+
+
+class TestMemSlot:
+    def test_one_ldst_issue_per_cycle(self, loop_workload, fast_config):
+        gpu = make_gpu(loop_workload, fast_config)
+        sm = gpu.sms[0]
+        sm._mem_slot_used = 0
+        assert sm.take_mem_slot()
+        assert not sm.take_mem_slot()
+
+
+class TestBarrierBookkeeping:
+    def test_partial_arrival_blocks(self, loop_workload, fast_config):
+        gpu = make_gpu(loop_workload, fast_config)
+        sm = gpu.sms[0]
+        cta0 = [w for w in sm.warps if w.cta_id == 0]
+        sm.barrier_arrive(cta0[0])
+        assert cta0[0].at_barrier
+
+    def test_full_arrival_releases(self, loop_workload, fast_config):
+        gpu = make_gpu(loop_workload, fast_config)
+        sm = gpu.sms[0]
+        cta0 = [w for w in sm.warps if w.cta_id == 0]
+        for w in cta0:
+            sm.barrier_arrive(w)
+        assert all(not w.at_barrier for w in cta0)
+
+    def test_exited_members_do_not_block_release(self, loop_workload, fast_config):
+        gpu = make_gpu(loop_workload, fast_config)
+        sm = gpu.sms[0]
+        cta0 = [w for w in sm.warps if w.cta_id == 0]
+        cta0[0].exited = True
+        for w in cta0[1:]:
+            sm.barrier_arrive(w)
+        assert all(not w.at_barrier for w in cta0[1:])
+
+    def test_exit_after_arrivals_releases_waiters(self, loop_workload, fast_config):
+        gpu = make_gpu(loop_workload, fast_config)
+        sm = gpu.sms[0]
+        cta0 = [w for w in sm.warps if w.cta_id == 0]
+        for w in cta0[:-1]:
+            sm.barrier_arrive(w)
+        cta0[-1].exited = True
+        sm.notify_warp_done(cta0[-1])
+        assert all(not w.at_barrier for w in cta0[:-1])

@@ -1,0 +1,108 @@
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import LaneValues, THREAD_ID, ValueKind, ZERO, mix_hash
+
+MASK = 0xFFFFFFFF
+
+lane_values = st.one_of(
+    st.integers(0, 2**31).map(LaneValues.uniform),
+    st.tuples(st.integers(0, 2**20), st.integers(-16, 16)).map(
+        lambda t: LaneValues.affine(*t)
+    ),
+    st.integers(0, 2**31).map(LaneValues.random),
+)
+
+
+class TestConstructors:
+    def test_zero_stride_affine_collapses_to_uniform(self):
+        assert LaneValues.affine(5, 0).is_uniform
+
+    def test_thread_id(self):
+        assert THREAD_ID.lane(0) == 0
+        assert THREAD_ID.lane(31) == 31
+
+    def test_kinds(self):
+        assert LaneValues.uniform(1).kind is ValueKind.UNIFORM
+        assert LaneValues.affine(0, 4).kind is ValueKind.AFFINE
+        assert LaneValues.random(7).kind is ValueKind.RANDOM
+
+
+class TestArithmetic:
+    @given(st.integers(0, 2**20), st.integers(0, 2**20))
+    def test_uniform_add(self, a, b):
+        r = LaneValues.uniform(a).add(LaneValues.uniform(b))
+        assert r.is_uniform and r.base == (a + b) & MASK
+
+    @given(lane_values, lane_values)
+    @settings(max_examples=100)
+    def test_add_lanewise_consistent(self, a, b):
+        r = a.add(b)
+        if not r.is_random:
+            for lane in (0, 7, 31):
+                assert r.lane(lane) == (a.lane(lane) + b.lane(lane)) & MASK
+
+    @given(lane_values, lane_values)
+    @settings(max_examples=100)
+    def test_sub_lanewise_consistent(self, a, b):
+        r = a.sub(b)
+        if not r.is_random:
+            for lane in (0, 15):
+                assert r.lane(lane) == (a.lane(lane) - b.lane(lane)) & MASK
+
+    def test_affine_times_uniform_stays_affine(self):
+        r = THREAD_ID.mul(LaneValues.uniform(4))
+        assert r.is_affine and r.stride == 4
+
+    def test_affine_times_affine_degrades(self):
+        assert THREAD_ID.mul(THREAD_ID).is_random
+
+    def test_shl_scales_stride(self):
+        r = THREAD_ID.shl(LaneValues.uniform(2))
+        assert r.is_affine and r.stride == 4
+
+    def test_random_poisons(self):
+        r = LaneValues.random(1).add(LaneValues.uniform(2))
+        assert r.is_random
+
+    def test_opaque_deterministic(self):
+        a, b = LaneValues.random(1), LaneValues.random(2)
+        assert a.opaque(b, salt=3) == a.opaque(b, salt=3)
+        assert a.opaque(b, salt=3) != a.opaque(b, salt=4)
+
+    def test_opaque_uniform_stays_uniform(self):
+        r = LaneValues.uniform(5).opaque(LaneValues.uniform(6), salt=1)
+        assert r.is_uniform
+
+
+class TestCoalescing:
+    def test_uniform_touches_one_line(self):
+        assert LaneValues.uniform(0x1000).coalesced_lines(128) == 1
+
+    def test_stride4_fits_one_line(self):
+        assert LaneValues.affine(0, 4).coalesced_lines(128) == 1
+
+    def test_stride16_touches_four_lines(self):
+        assert LaneValues.affine(0, 16).coalesced_lines(128) == 4
+
+    def test_random_uses_divergence_parameter(self):
+        assert LaneValues.random(9).coalesced_lines(128, divergent_lines=6) == 6
+
+    def test_line_addresses_aligned_and_count(self):
+        for v in (LaneValues.uniform(0x1234), LaneValues.affine(0x999, 16),
+                  LaneValues.random(3)):
+            addrs = v.line_addresses(128, divergent_lines=4)
+            assert all(a % 128 == 0 for a in addrs)
+            assert len(addrs) == v.coalesced_lines(128, divergent_lines=4)
+
+    @given(st.integers(0, 2**24), st.integers(1, 32))
+    @settings(max_examples=60)
+    def test_affine_line_count_matches_span(self, base, stride):
+        v = LaneValues.affine(base, stride)
+        span_lines = ((base + stride * 31) // 128) - (base // 128) + 1
+        assert v.coalesced_lines(128) == span_lines
+
+
+def test_mix_hash_deterministic_and_32bit():
+    assert mix_hash(1, 2, 3) == mix_hash(1, 2, 3)
+    assert mix_hash(1) != mix_hash(2)
+    assert 0 <= mix_hash(12345, 678) <= MASK

@@ -1,0 +1,157 @@
+import pytest
+
+from repro.isa import Imm, Instruction, Opcode, Pred, PredGuard, Reg
+from repro.sim import FULL_MASK, LaneValues, Warp
+
+
+def make_warp():
+    return Warp(wid=0, shard_id=0, cta_id=0, entry_pc=0, sentinel_pc=100)
+
+
+def mov(dst=0, guard=None):
+    return Instruction(Opcode.MOV, (Reg(dst),), (Imm(1),), guard=guard)
+
+
+class TestSIMTStack:
+    def test_initial_state(self):
+        w = make_warp()
+        assert w.pc == 0
+        assert w.active_mask == FULL_MASK
+        assert len(w.stack) == 1
+
+    def test_advance_and_jump(self):
+        w = make_warp()
+        w.advance()
+        assert w.pc == 1
+        w.jump(17)
+        assert w.pc == 17
+
+    def test_diverge_runs_taken_first(self):
+        w = make_warp()
+        w.jump(5)
+        w.diverge(reconv_pc=20, taken_pc=10, taken_mask=0xF,
+                  fallthrough_pc=6, nottaken_mask=FULL_MASK & ~0xF)
+        assert w.pc == 10
+        assert w.active_mask == 0xF
+
+    def test_reconvergence_restores_mask(self):
+        w = make_warp()
+        w.jump(5)
+        w.diverge(20, 10, 0xF, 6, FULL_MASK & ~0xF)
+        w.jump(20)  # taken path reaches reconvergence
+        w.maybe_reconverge()
+        assert w.pc == 6  # not-taken path resumes
+        assert w.active_mask == FULL_MASK & ~0xF
+        w.jump(20)
+        w.maybe_reconverge()
+        assert w.pc == 20
+        assert w.active_mask == FULL_MASK
+
+    def test_nested_divergence(self):
+        w = make_warp()
+        w.diverge(30, 10, 0xFF, 1, FULL_MASK & ~0xFF)
+        w.diverge(20, 12, 0xF, 11, 0xF0)
+        assert w.active_mask == 0xF
+        w.jump(20)
+        w.maybe_reconverge()
+        assert w.active_mask == 0xF0
+        w.jump(20)
+        w.maybe_reconverge()
+        # The outer taken entry (0xFF) became the inner reconvergence entry.
+        assert w.pc == 20 and w.active_mask == 0xFF
+        w.jump(30)
+        w.maybe_reconverge()
+        assert w.active_mask == FULL_MASK & ~0xFF
+
+
+class TestRegisters:
+    def test_default_zero(self):
+        w = make_warp()
+        assert w.read_reg(Reg(5)) == LaneValues.uniform(0)
+
+    def test_full_write(self):
+        w = make_warp()
+        w.write_reg(Reg(1), LaneValues.uniform(7))
+        assert w.read_reg(Reg(1)).base == 7
+
+    def test_partial_write_destroys_structure(self):
+        w = make_warp()
+        w.write_reg(Reg(1), LaneValues.uniform(7))
+        w.write_reg(Reg(1), LaneValues.uniform(9), full=False)
+        assert w.read_reg(Reg(1)).is_random
+
+    def test_partial_write_same_value_noop(self):
+        w = make_warp()
+        v = LaneValues.uniform(7)
+        w.write_reg(Reg(1), v)
+        w.write_reg(Reg(1), v, full=False)
+        assert w.read_reg(Reg(1)) == v
+
+
+class TestPredicatesAndGuards:
+    def test_guard_mask_plain(self):
+        w = make_warp()
+        assert w.guard_mask(mov()) == FULL_MASK
+
+    def test_guard_mask_positive_and_negated(self):
+        w = make_warp()
+        w.write_pred(Pred(0), 0xFF)
+        g = PredGuard(Pred(0))
+        ng = PredGuard(Pred(0), negate=True)
+        assert w.guard_mask(mov(guard=g)) == 0xFF
+        assert w.guard_mask(mov(guard=ng)) == FULL_MASK & ~0xFF
+
+
+class TestScoreboard:
+    def test_raw_blocks(self):
+        w = make_warp()
+        producer = mov(dst=1)
+        consumer = Instruction(Opcode.IADD, (Reg(2),), (Reg(1), Imm(1)))
+        w.mark_pending(producer)
+        assert not w.scoreboard_ready(consumer)
+        w.clear_pending(producer)
+        assert w.scoreboard_ready(consumer)
+
+    def test_waw_blocks(self):
+        w = make_warp()
+        w.mark_pending(mov(dst=1))
+        assert not w.scoreboard_ready(mov(dst=1))
+
+    def test_pred_dependence_blocks(self):
+        w = make_warp()
+        setp = Instruction(Opcode.SETP, (Pred(0),), (Reg(1), Imm(0)))
+        guarded = mov(guard=PredGuard(Pred(0)))
+        w.mark_pending(setp)
+        assert not w.scoreboard_ready(guarded)
+        w.clear_pending(setp)
+        assert w.scoreboard_ready(guarded)
+
+    def test_inflight_counting(self):
+        w = make_warp()
+        a, b = mov(dst=1), mov(dst=2)
+        w.mark_pending(a)
+        w.mark_pending(b)
+        assert w.inflight == 2
+        w.clear_pending(a)
+        w.clear_pending(b)
+        assert w.inflight == 0
+        assert not w.pending_regs
+
+    def test_double_pending_same_reg(self):
+        w = make_warp()
+        w.mark_pending(mov(dst=1))
+        w.mark_pending(mov(dst=1))
+        w.clear_pending(mov(dst=1))
+        assert not w.scoreboard_ready(mov(dst=1))
+        w.clear_pending(mov(dst=1))
+        assert w.scoreboard_ready(mov(dst=1))
+
+
+def test_runnable_flags():
+    w = make_warp()
+    assert w.runnable
+    w.at_barrier = True
+    assert not w.runnable
+    w.at_barrier = False
+    w.exited = True
+    assert not w.runnable and w.done

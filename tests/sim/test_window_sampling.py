@@ -1,0 +1,40 @@
+"""Window-series sampling must not lose counts across fast-forward skips."""
+
+from repro.compiler import compile_kernel
+from repro.regfile import BaselineRF
+from repro.sim import run_simulation
+
+
+def run(workload, config, **kwargs):
+    ck = compile_kernel(workload.kernel())
+    return run_simulation(config, ck, workload, lambda sm, sh: BaselineRF(),
+                          **kwargs)
+
+
+def test_series_deltas_sum_to_totals(loop_workload, fast_config):
+    stats = run(loop_workload, fast_config,
+                window_series=("rf_read", "rf_write"))
+    for name in ("rf_read", "rf_write"):
+        sampled = sum(stats.window_series[name])
+        total = stats.counter(name)
+        # Only the final partial window may be missing (activity is bursty,
+        # so the tail can exceed the per-window average but never a full
+        # window's worth more than the largest observed burst).
+        assert 0 <= total - sampled
+        if stats.window_series[name]:
+            burst = max(stats.window_series[name])
+            assert total - sampled <= max(burst, total * 0.25)
+
+
+def test_series_identical_with_and_without_fast_forward(loop_workload,
+                                                        fast_config):
+    fast = run(loop_workload, fast_config, window_series=("rf_read",))
+    slow = run(loop_workload, fast_config.with_(fast_forward=False),
+               window_series=("rf_read",))
+    assert fast.window_series == slow.window_series
+
+
+def test_window_length_matches_cycle_count(loop_workload, fast_config):
+    stats = run(loop_workload, fast_config, window_series=("rf_read",))
+    expected = stats.cycles // fast_config.working_set_window
+    assert abs(len(stats.window_series["rf_read"]) - expected) <= 1

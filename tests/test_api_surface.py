@@ -1,0 +1,96 @@
+"""Public API stability: the names documented in README/docs must exist.
+
+This is the contract test for downstream users: renaming or dropping any
+of these is a breaking change and should be a conscious decision.
+"""
+
+import importlib
+
+import pytest
+
+PUBLIC_API = {
+    "repro": [
+        "CompiledKernel", "compile_kernel", "SuiteRunner", "GPUConfig",
+        "run_simulation", "Workload", "make_workload", "workload_names",
+        "__version__",
+    ],
+    "repro.isa": [
+        "Reg", "Pred", "Imm", "Instruction", "PredGuard", "Opcode",
+        "FuncUnit", "BasicBlock", "Kernel", "KernelBuilder", "assemble",
+        "disassemble", "AssemblerError", "validate_kernel", "check_kernel",
+        "WARP_WIDTH", "REGISTER_BYTES",
+    ],
+    "repro.compiler": [
+        "compile_kernel", "CompiledKernel", "analyze_liveness", "Liveness",
+        "find_soft_definitions", "create_regions", "Region", "RegionConfig",
+        "region_stats", "annotate_regions", "RegionAnnotations", "Preload",
+        "dominator_tree", "postdominator_tree", "DomTree",
+        "encode_region_metadata", "metadata_overhead", "allocate_registers",
+        "build_interference",
+    ],
+    "repro.sim": [
+        "GPUConfig", "GPU", "SimStats", "SimDeadlock", "run_simulation",
+        "EventWheel", "Warp", "StackEntry", "LaneValues", "ValueKind",
+        "THREAD_ID", "ZERO", "mix_hash", "Oracle", "LoopExit",
+        "DivergentLoopExit", "BernoulliLanes", "BernoulliWarp",
+        "AlwaysTaken", "NeverTaken", "LoadBehavior", "FULL_MASK",
+        "GTOScheduler", "LRRScheduler", "TwoLevelScheduler",
+        "make_scheduler", "Tracer", "TraceEvent",
+    ],
+    "repro.mem": [
+        "SetAssocCache", "MSHRFile", "Eviction", "MemoryHierarchy",
+        "L1RegCache",
+    ],
+    "repro.regfile": [
+        "OperandStorage", "BaselineRF", "RFHStorage", "RFVStorage",
+        "assign_levels", "LevelAssignment",
+    ],
+    "repro.regless": [
+        "ReglessStorage", "ReglessConfig", "CapacityManager", "WarpState",
+        "OperandStagingUnit", "Bank", "Compressor", "match_pattern",
+        "COMPRESS_PATTERNS", "RegisterMapping", "REGS_PER_COMPRESSED_LINE",
+    ],
+    "repro.energy": [
+        "Counters", "EnergyModel", "EnergyParams", "EnergyBreakdown",
+        "AreaModel", "AreaBreakdown", "OSU_CAPACITY_SWEEP",
+        "BASELINE_RF_ENTRIES",
+    ],
+    "repro.workloads": [
+        "Workload", "RODINIA", "make_workload", "workload_names",
+        "compute_chain", "wide_expression", "stencil_loads",
+        "consume_values", "uniform_loop", "divergent_if", "sfu_block",
+        "default_initial_regs",
+    ],
+    "repro.harness": [
+        "SuiteRunner", "RunResult", "BACKENDS", "EXPERIMENTS", "geomean",
+        "fig2_working_set", "fig3_backing_store", "fig5_liveness_seams",
+        "fig11_area", "fig12_power", "fig13_pareto", "fig14_rf_energy",
+        "fig15_gpu_energy", "fig16_runtime", "fig17_preload_location",
+        "fig18_l1_bandwidth", "fig19_region_registers",
+        "table2_region_sizes", "energy_breakdown", "validate_claims",
+        "render_claims", "Claim", "seed_robustness", "render_robustness",
+        "SeedStats", "export_all", "rows_for", "to_csv", "to_json",
+        "EXPORTABLE",
+    ],
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(PUBLIC_API))
+def test_module_exports(module_name):
+    module = importlib.import_module(module_name)
+    missing = [n for n in PUBLIC_API[module_name] if not hasattr(module, n)]
+    assert not missing, f"{module_name} lost public names: {missing}"
+
+
+@pytest.mark.parametrize("module_name", sorted(PUBLIC_API))
+def test_all_lists_are_importable(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name}"
+
+
+def test_version_is_semver():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)

@@ -1,0 +1,37 @@
+"""Smoke tests for the fast examples (the slow sweeps are exercised by the
+benchmark suite; these guard the pedagogical scripts against bit-rot)."""
+
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = [
+    "examples/quickstart.py",
+    "examples/compiler_explorer.py",
+    "examples/pipeline_trace.py",
+]
+
+
+@pytest.mark.parametrize("path", EXAMPLES)
+def test_example_runs(path, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [path])
+    runpy.run_path(path, run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+
+
+def test_quickstart_shows_savings(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["examples/quickstart.py"])
+    runpy.run_path("examples/quickstart.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "RF-structure energy" in out
+    assert "preloads staged without memory traffic" in out
+
+
+def test_compiler_explorer_finds_soft_defs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["examples/compiler_explorer.py"])
+    runpy.run_path("examples/compiler_explorer.py", run_name="__main__")
+    out = capsys.readouterr().out
+    assert "soft-def" in out
+    assert "region" in out

@@ -1,0 +1,60 @@
+from repro.sim import LaneValues, LoopExit
+from repro.workloads import Workload, default_initial_regs
+from tests.conftest import build_loop
+
+
+class TestDefaultInitialRegs:
+    def test_thread_id_affine(self):
+        regs = default_initial_regs(warp_id=3)
+        tid = regs[0]
+        assert tid.is_affine and tid.stride == 1
+        assert tid.base == 3 * 32
+
+    def test_pointers_uniform_and_distinct_per_warp(self):
+        a = default_initial_regs(0)
+        b = default_initial_regs(1)
+        assert a[1].is_uniform
+        assert a[1] != b[1]
+
+    def test_param_count(self):
+        assert set(default_initial_regs(0)) == {0, 1, 2, 3}
+
+
+class TestWorkload:
+    def make(self, **kwargs):
+        return Workload(name="w", build=build_loop,
+                        pred_behaviors={"loop": LoopExit(trips=3)}, **kwargs)
+
+    def test_kernel_cached(self):
+        wl = self.make()
+        assert wl.kernel() is wl.kernel()
+
+    def test_regalloc_toggle(self):
+        raw = self.make(regalloc=False).kernel()
+        alloc = self.make(regalloc=True).kernel()
+        assert alloc.num_regs <= raw.num_regs
+
+    def test_oracle_carries_behaviors(self):
+        wl = self.make()
+        oracle = wl.oracle()
+        # Tagged setp follows LoopExit(3): exits at count 2.
+        assert oracle.pred_mask(0, 0, "loop") == 0
+        assert oracle.pred_mask(0, 0, "loop") == 0
+        assert oracle.pred_mask(0, 0, "loop") != 0
+
+    def test_fresh_oracle_per_call(self):
+        wl = self.make()
+        a, b = wl.oracle(), wl.oracle()
+        a.pred_mask(0, 0, "loop")
+        # b has independent counts.
+        assert b.pred_mask(0, 0, "loop") == 0
+
+    def test_custom_init_regs(self):
+        marker = {0: LaneValues.uniform(0xDEAD)}
+        wl = self.make(init_regs=lambda wid: marker)
+        assert wl.initial_regs(5) is marker
+
+    def test_seed_flows_to_oracle(self):
+        a = self.make(seed=1).oracle()
+        b = self.make(seed=2).oracle()
+        assert a.seed != b.seed

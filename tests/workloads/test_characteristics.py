@@ -1,0 +1,96 @@
+"""Dynamic fidelity net: each benchmark exhibits its paper character.
+
+These run the suite under a small configuration and assert the dynamic
+signatures the paper attributes to each benchmark, so workload edits that
+silently change a benchmark's nature fail here rather than skewing figures.
+"""
+
+import pytest
+
+from repro.harness import SuiteRunner
+from repro.sim import GPUConfig
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(config=GPUConfig(warps_per_sm=16, schedulers_per_sm=2,
+                                        cta_size_warps=8))
+
+
+class TestControlFlow:
+    @pytest.mark.parametrize("name", ["heartwall", "bfs", "mummergpu",
+                                       "hybridsort", "b+tree"])
+    def test_divergent_benchmarks_diverge(self, runner, name):
+        stats = runner.run(name, "baseline").stats
+        assert stats.counter("divergent_branch") > 0
+
+    @pytest.mark.parametrize("name", ["kmeans", "lud", "nw"])
+    def test_uniform_benchmarks_do_not(self, runner, name):
+        stats = runner.run(name, "baseline").stats
+        assert stats.counter("divergent_branch") == 0
+
+
+class TestMemoryProfile:
+    def test_hybridsort_and_sradv2_store_heavy(self, runner):
+        for name in ("hybridsort", "srad_v2"):
+            stats = runner.run(name, "baseline").stats
+            assert stats.counter("gmem_store_lines") > stats.counter(
+                "gmem_load_lines"
+            ), name
+
+    def test_stencils_load_heavy(self, runner):
+        for name in ("hotspot", "dwt2d", "leukocyte"):
+            stats = runner.run(name, "baseline").stats
+            assert stats.counter("gmem_load_lines") > stats.counter(
+                "gmem_store_lines"
+            ), name
+
+    def test_myocyte_nearly_no_memory(self, runner):
+        stats = runner.run("myocyte", "baseline").stats
+        per_insn = stats.counter("gmem_load_lines") / stats.instructions
+        assert per_insn < 0.01
+
+    def test_bfs_memory_intensity_highest(self, runner):
+        def intensity(name):
+            s = runner.run(name, "baseline").stats
+            return s.counter("gmem_load_lines") / s.instructions
+        assert intensity("bfs") > intensity("lud")
+        assert intensity("bfs") > intensity("myocyte")
+
+
+class TestComputeProfile:
+    def test_sfu_benchmarks_use_sfu(self, runner):
+        from repro.isa import FuncUnit
+        for name in ("leukocyte", "myocyte", "lavaMD"):
+            ck = runner.compiled(name)
+            sfu = [i for _, _, i in ck.kernel.iter_pcs()
+                   if i.opcode.info.unit is FuncUnit.SFU]
+            assert sfu, name
+
+    def test_barrier_benchmarks_synchronize(self, runner):
+        from repro.isa import Opcode
+        for name in ("backprop", "pathfinder", "srad_v1"):
+            ck = runner.compiled(name)
+            bars = [i for _, _, i in ck.kernel.iter_pcs()
+                    if i.opcode is Opcode.BAR]
+            assert bars, name
+
+
+class TestCompressibility:
+    def test_hotspot_more_compressible_than_dwt2d(self, runner):
+        def compress_rate(name):
+            s = runner.run(name, "regless").stats
+            stores = s.counter("compressor_store")
+            total = stores + s.counter("l1_evict_store")
+            return stores / total if total else None
+        hotspot = compress_rate("hotspot")
+        dwt2d = compress_rate("dwt2d")
+        if hotspot is not None and dwt2d is not None:
+            assert hotspot >= dwt2d
+
+
+class TestWorkingSet:
+    def test_small_vs_large_working_sets(self, runner):
+        small = runner.run("b+tree", "baseline", track_working_set=True)
+        large = runner.run("hotspot", "baseline", track_working_set=True)
+        assert small.stats.working_set_kb() < large.stats.working_set_kb()

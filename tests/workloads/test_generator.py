@@ -1,0 +1,128 @@
+from repro.compiler import analyze_liveness
+from repro.isa import KernelBuilder, Opcode
+from repro.workloads import (
+    compute_chain,
+    consume_values,
+    divergent_if,
+    sfu_block,
+    stencil_loads,
+    uniform_loop,
+    wide_expression,
+)
+
+
+def fresh_builder():
+    b = KernelBuilder("frag")
+    b.block("entry")
+    return b
+
+
+class TestComputeChain:
+    def test_emits_requested_length(self):
+        b = fresh_builder()
+        compute_chain(b, b.reg(0), 10)
+        b.exit()
+        k = b.build()
+        assert k.num_instructions == 11
+
+    def test_ilp_creates_independent_adjacent_pairs(self):
+        b = fresh_builder()
+        compute_chain(b, b.reg(0), 12, ilp=2)
+        b.exit()
+        k = b.build()
+        # Consecutive chain instructions write different accumulators, so
+        # instruction i+1 never reads instruction i's destination.
+        dependent_pairs = 0
+        for pc in range(k.num_instructions - 2):
+            dst = k.insn_at(pc).reg_dsts
+            if dst and dst[0] in k.insn_at(pc + 1).reg_srcs:
+                dependent_pairs += 1
+        assert dependent_pairs <= 1  # only the final merge
+
+    def test_serial_when_ilp_one(self):
+        b = fresh_builder()
+        out = compute_chain(b, b.reg(0), 5, ilp=1)
+        b.stg(b.reg(0), out)
+        b.exit()
+        k = b.build()
+        assert k.num_instructions == 7
+
+
+class TestWideExpression:
+    def test_peak_liveness_tracks_width(self):
+        for width in (4, 12):
+            b = fresh_builder()
+            out = wide_expression(b, [b.reg(0)], width=width, depth=2)
+            b.stg(b.reg(0), out)
+            b.exit()
+            lv = analyze_liveness(b.build())
+            assert lv.max_live() >= width
+
+    def test_reduces_to_single_value(self):
+        b = fresh_builder()
+        out = wide_expression(b, [b.reg(0)], width=7, depth=1)
+        b.stg(b.reg(0), out)
+        b.exit()
+        lv = analyze_liveness(b.build())
+        last_store = b.build().num_instructions  # smoke: builds fine
+        assert lv.live_counts()[-2] <= 3
+
+
+class TestStencilAndConsume:
+    def test_stencil_emits_loads(self):
+        b = fresh_builder()
+        vals = stencil_loads(b, b.reg(0), [0, -1, 1], tag="grid")
+        consume_values(b, vals)
+        b.exit()
+        k = b.build()
+        loads = [i for _, i in [(pc, k.insn_at(pc)) for pc in range(k.num_instructions)]
+                 if i.opcode is Opcode.LDG]
+        assert len(loads) == 3
+        assert all(ld.tag == "grid" for ld in loads)
+
+    def test_consume_kills_all_inputs(self):
+        b = fresh_builder()
+        vals = stencil_loads(b, b.reg(0), [0, 1])
+        out = consume_values(b, vals)
+        b.stg(b.reg(0), out)
+        b.exit()
+        lv = analyze_liveness(b.build())
+        # At the store, only out + the address register remain live.
+        assert lv.live_counts()[-2] <= 3
+
+
+class TestControlHelpers:
+    def test_uniform_loop_shape(self):
+        b = fresh_builder()
+        header, exit_lbl, i, p = uniform_loop(b, "t")
+        b.iadd(i, i, 1)
+        b.bra(header)
+        b.block_named(exit_lbl)
+        b.exit()
+        k = b.build()
+        assert header in [blk.label for blk in k.blocks]
+        assert k.successors(header)  # branches to exit + falls through
+
+    def test_divergent_if_shape(self):
+        b = fresh_builder()
+        join, p = divergent_if(b, b.reg(0), "cond")
+        b.mov(b.fresh(), 1)
+        b.block_named(join)
+        b.exit()
+        k = b.build()
+        # The header block ends with a guarded branch to the join label.
+        branches = [
+            i for _, _, i in k.iter_pcs() if i.opcode is Opcode.BRA
+        ]
+        assert branches[0].target == join
+        assert branches[0].guard is not None
+
+    def test_sfu_block(self):
+        b = fresh_builder()
+        out = sfu_block(b, b.reg(0), 3)
+        b.stg(b.reg(0), out)
+        b.exit()
+        k = b.build()
+        sfu_ops = [i for _, _, i in k.iter_pcs()
+                   if i.opcode in (Opcode.RSQ, Opcode.EX2)]
+        assert len(sfu_ops) == 3

@@ -1,0 +1,91 @@
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.regfile import BaselineRF
+from repro.regless import ReglessStorage
+from repro.sim import run_simulation
+from repro.workloads import RODINIA, make_workload, workload_names
+
+ALL_NAMES = workload_names()
+
+
+class TestSuiteShape:
+    def test_twenty_one_benchmarks(self):
+        assert len(ALL_NAMES) == 21
+
+    def test_names_match_paper(self):
+        expected = {
+            "b+tree", "backprop", "bfs", "dwt2d", "gaussian", "heartwall",
+            "hotspot", "hybridsort", "kmeans", "lavaMD", "leukocyte", "lud",
+            "mummergpu", "myocyte", "nn", "nw", "particle_filter",
+            "pathfinder", "srad_v1", "srad_v2", "streamcluster",
+        }
+        assert set(ALL_NAMES) == expected
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            make_workload("tango")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestEveryBenchmark:
+    def test_builds_and_compiles(self, name):
+        wl = make_workload(name)
+        ck = compile_kernel(wl.kernel())
+        assert ck.n_regions >= 1
+        assert ck.kernel.has_exit
+
+    def test_regions_tile_kernel(self, name):
+        wl = make_workload(name)
+        ck = compile_kernel(wl.kernel())
+        covered = sorted(
+            pc for r in ck.regions for pc in range(r.start_pc, r.end_pc)
+        )
+        assert covered == list(range(ck.kernel.num_instructions))
+
+    def test_regalloc_applied(self, name):
+        wl = make_workload(name)
+        assert wl.kernel().num_regs <= wl.build().num_regs
+
+
+class TestCharacteristics:
+    def test_register_heavy_benchmarks(self):
+        for name in ("dwt2d", "myocyte", "hotspot"):
+            ck = compile_kernel(make_workload(name).kernel())
+            assert max(r.max_live for r in ck.regions) >= 15, name
+
+    def test_compute_dense_benchmarks_have_large_regions(self):
+        lud = compile_kernel(make_workload("lud").kernel())
+        bfs = compile_kernel(make_workload("bfs").kernel())
+        assert lud.mean_insns_per_region() > bfs.mean_insns_per_region()
+
+    def test_soft_definitions_present_in_divergent_benchmarks(self):
+        for name in ("streamcluster", "heartwall"):
+            ck = compile_kernel(make_workload(name).kernel())
+            assert ck.liveness.soft_defs, name
+
+    def test_barrier_benchmarks_isolate_barriers(self):
+        from repro.isa import Opcode
+
+        for name in ("backprop", "pathfinder", "srad_v1"):
+            ck = compile_kernel(make_workload(name).kernel())
+            for region in ck.regions:
+                has_bar = any(
+                    ck.kernel.insn_at(pc).opcode is Opcode.BAR
+                    for pc in range(region.start_pc, region.end_pc)
+                )
+                if has_bar:
+                    assert region.num_insns == 1
+
+
+@pytest.mark.parametrize("name", ["bfs", "kmeans", "heartwall", "lud"])
+class TestExecution:
+    def test_runs_under_both_backends(self, name, fast_config):
+        wl = make_workload(name)
+        ck = compile_kernel(wl.kernel())
+        base = run_simulation(fast_config, ck, wl, lambda sm, sh: BaselineRF())
+        rl = run_simulation(fast_config, ck, wl,
+                            lambda sm, sh: ReglessStorage(ck))
+        assert base.finished and rl.finished
+        assert base.instructions == rl.instructions
+        assert rl.counter("osu_read_miss") == 0
