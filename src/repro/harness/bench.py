@@ -1,0 +1,130 @@
+"""``python -m repro.harness bench``: wall-clock benchmark of the harness.
+
+Times the full (benchmark x backend) grid three ways —
+
+1. **serial**   — one process, no disk cache (the seed baseline),
+2. **cold**     — parallel ``run_grid`` into an empty result cache,
+3. **warm**     — a fresh runner re-reading the now-populated cache,
+
+verifies that the serial and parallel grids produce identical ``cycles``
+and counter values per run, and reports per-phase (compile / simulate /
+energy) timing aggregates collected in :attr:`RunResult.timings`.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from typing import List, Optional, Sequence
+
+from ..workloads import workload_names
+from .cache import ResultCache
+from .parallel import RunRequest, resolve_jobs
+from .runner import BACKENDS, RunResult, SuiteRunner
+
+__all__ = ["run_bench", "render_bench"]
+
+
+def _fmt_rate(seconds: float, n: int) -> str:
+    return f"{seconds:7.1f}s ({seconds / max(1, n):5.2f}s/run)"
+
+
+def run_bench(
+    names: Optional[Sequence[str]] = None,
+    backends: Sequence[str] = BACKENDS,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> str:
+    """Run the three-legged benchmark and return the report text."""
+    names = list(names) if names else workload_names()
+    requests = [
+        RunRequest.make(name, backend) for name in names for backend in backends
+    ]
+    n = len(requests)
+    jobs = resolve_jobs(jobs)
+    cache_dir = cache_dir or tempfile.mkdtemp(prefix="repro-bench-cache-")
+
+    lines = [
+        f"harness bench: {len(names)} benchmarks x {len(backends)} backends "
+        f"= {n} runs, {jobs} job(s)",
+        f"cache: {cache_dir}",
+        "",
+    ]
+
+    # Leg 1: serial, no cache (the seed execution model).
+    serial_runner = SuiteRunner(cache=False)
+    t0 = time.perf_counter()
+    serial: List[RunResult] = [
+        serial_runner.run(r.benchmark, r.backend, osu_entries=r.osu_entries)
+        for r in requests
+    ]
+    t_serial = time.perf_counter() - t0
+
+    # Leg 2: parallel into a cold cache.
+    cold_runner = SuiteRunner(cache=ResultCache(cache_dir), jobs=jobs)
+    t0 = time.perf_counter()
+    parallel = cold_runner.run_grid(requests)
+    t_cold = time.perf_counter() - t0
+
+    # Leg 3: fresh runner, warm cache.
+    warm_runner = SuiteRunner(cache=ResultCache(cache_dir), jobs=jobs)
+    t0 = time.perf_counter()
+    warm = warm_runner.run_grid(requests)
+    t_warm = time.perf_counter() - t0
+
+    mismatches = [
+        f"  {r.benchmark}/{r.backend}"
+        for r, s, p in zip(requests, serial, parallel)
+        if s.cycles != p.cycles or s.stats.counters != p.stats.counters
+    ]
+    warm_mismatches = sum(
+        1 for s, w in zip(serial, warm)
+        if s.cycles != w.cycles or s.stats.counters != w.stats.counters
+    )
+
+    lines.append(f"serial (no cache):   {_fmt_rate(t_serial, n)}")
+    lines.append(
+        f"parallel cold:       {_fmt_rate(t_cold, n)}"
+        f"   {t_serial / max(t_cold, 1e-9):5.2f}x vs serial"
+    )
+    lines.append(
+        f"warm (cached):       {_fmt_rate(t_warm, n)}"
+        f"   {t_serial / max(t_warm, 1e-9):5.2f}x vs serial"
+    )
+    lines.append("")
+    if mismatches:
+        lines.append(f"MISMATCH: {len(mismatches)} run(s) differ serial vs parallel:")
+        lines.extend(mismatches[:10])
+    else:
+        lines.append(
+            "parallel == serial: identical cycles and counters for "
+            f"all {n} runs"
+        )
+    lines.append(
+        "warm == serial: "
+        + ("identical" if warm_mismatches == 0
+           else f"{warm_mismatches} MISMATCH(ES)")
+    )
+
+    # Per-phase timing aggregate over the cold leg's fresh executions.
+    timed = [r.timings for r in parallel if "simulate" in r.timings]
+    if timed:
+        lines.append("")
+        lines.append(f"per-run phase means over {len(timed)} executed run(s):")
+        for phase in ("compile", "simulate", "energy", "total"):
+            vals = [t.get(phase, 0.0) for t in timed]
+            lines.append(
+                f"  {phase:9s} {sum(vals) / len(vals):7.3f}s "
+                f"(max {max(vals):6.3f}s)"
+            )
+    loads = [r.timings["cache_load"] for r in warm if "cache_load" in r.timings]
+    if loads:
+        lines.append(
+            f"  cache_load {sum(loads) / len(loads):6.4f}s mean over "
+            f"{len(loads)} warm hit(s)"
+        )
+    return "\n".join(lines)
+
+
+def render_bench(report: str) -> str:
+    return report

@@ -1,0 +1,166 @@
+"""Persistent, content-addressed result cache for the evaluation harness.
+
+Every simulation run is keyed by a digest over everything that can change
+its outcome:
+
+* the full :class:`~repro.sim.config.GPUConfig` (overrides already applied),
+* the backend name and OSU capacity,
+* the workload name and oracle seed,
+* the compiled-kernel bytes (so compiler changes invalidate results),
+* the energy-model parameters,
+* the requested window series, and
+* a **code-version salt**: a hash over every ``repro`` source file, so any
+  simulator change self-invalidates the whole store.
+
+Results are pickled :class:`~repro.harness.runner.RunResult` objects stored
+under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-regless``).  Set
+``REPRO_CACHE=0`` to disable caching entirely.  Writes are atomic
+(temp file + rename), so concurrent writers — e.g. several ``run_grid``
+worker collections — can share one store safely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import asdict
+from typing import Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..energy.model import EnergyParams
+    from ..sim.config import GPUConfig
+    from .runner import RunResult
+
+__all__ = ["ResultCache", "cache_enabled", "cache_root", "code_salt",
+           "run_digest"]
+
+
+def cache_enabled() -> bool:
+    """Disk caching is on unless ``REPRO_CACHE=0``."""
+    return os.environ.get("REPRO_CACHE", "1") != "0"
+
+
+def cache_root() -> str:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-regless``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return env
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-regless")
+
+
+_CODE_SALT: Optional[str] = None
+
+
+def code_salt() -> str:
+    """Digest of every ``repro`` source file (computed once per process).
+
+    Editing any simulator/compiler/harness source therefore invalidates all
+    previously cached results — stale entries are never served.
+    """
+    global _CODE_SALT
+    if _CODE_SALT is None:
+        import repro
+
+        pkg_root = os.path.dirname(os.path.abspath(repro.__file__))
+        h = hashlib.sha256()
+        for dirpath, dirnames, filenames in sorted(os.walk(pkg_root)):
+            dirnames.sort()
+            for fname in sorted(filenames):
+                if not fname.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                h.update(os.path.relpath(path, pkg_root).encode())
+                with open(path, "rb") as fh:
+                    h.update(fh.read())
+        _CODE_SALT = h.hexdigest()
+    return _CODE_SALT
+
+
+def run_digest(
+    config: "GPUConfig",
+    backend: str,
+    osu_entries: int,
+    workload_name: str,
+    workload_seed: int,
+    kernel_bytes: bytes,
+    energy_params: "EnergyParams",
+    window_series: Sequence[str] = (),
+    salt: Optional[str] = None,
+) -> str:
+    """Content digest identifying one simulation run."""
+    h = hashlib.sha256()
+    h.update((salt if salt is not None else code_salt()).encode())
+    descriptor = repr((
+        sorted(asdict(config).items()),
+        backend,
+        int(osu_entries),
+        workload_name,
+        int(workload_seed),
+        tuple(window_series),
+        sorted(asdict(energy_params).items()),
+    ))
+    h.update(descriptor.encode())
+    h.update(kernel_bytes)
+    return h.hexdigest()
+
+
+class ResultCache:
+    """On-disk pickle store addressed by :func:`run_digest` keys."""
+
+    def __init__(self, root: Optional[str] = None):
+        self.root = str(root) if root is not None else cache_root()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.root, digest[:2], f"{digest}.pkl")
+
+    def get(self, digest: str) -> Optional["RunResult"]:
+        """The cached result, or ``None`` (corrupt entries read as misses)."""
+        try:
+            with open(self._path(digest), "rb") as fh:
+                result = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, digest: str, result: "RunResult") -> None:
+        path = self._path(digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)  # atomic on POSIX
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self.writes += 1
+
+    def __len__(self) -> int:
+        count = 0
+        for _, _, files in os.walk(self.root):
+            count += sum(1 for f in files if f.endswith(".pkl"))
+        return count
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number removed."""
+        removed = 0
+        for dirpath, _, files in os.walk(self.root):
+            for fname in files:
+                if fname.endswith(".pkl"):
+                    try:
+                        os.unlink(os.path.join(dirpath, fname))
+                        removed += 1
+                    except OSError:
+                        pass
+        return removed

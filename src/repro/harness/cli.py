@@ -5,6 +5,13 @@ Examples::
     python -m repro.harness fig16                 # run-time comparison
     python -m repro.harness fig17 --names bfs nw  # subset of benchmarks
     python -m repro.harness all                   # every experiment
+    python -m repro.harness all --jobs 8          # fan runs over 8 workers
+    python -m repro.harness bench                 # time serial/parallel/warm
+    python -m repro.harness fig16 --profile       # cProfile hotspots
+
+Worker count defaults to ``REPRO_JOBS`` or the CPU count; results persist
+in the cache described in :mod:`repro.harness.cache` unless ``--no-cache``
+(or ``REPRO_CACHE=0``) is given.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from typing import List, Optional
 
 from . import experiments as ex
 from . import report
+from .bench import run_bench
 from .runner import SuiteRunner
 from .export import export_all
 from .robustness import render_robustness, seed_robustness
@@ -49,7 +57,9 @@ def run_experiment(name: str, runner: SuiteRunner,
         return report.render_fig11(ex.fig11_area())
     fn, render = _RENDER[name]
     if name in _NAMED:
-        return render(fn(runner, names))
+        # Keyword, not positional: some experiments (fig13) take other
+        # parameters before ``names``.
+        return render(fn(runner, names=names))
     return render(fn(runner))
 
 
@@ -60,9 +70,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_RENDER) + ["all", "validate", "robustness", "export"],
+        choices=sorted(_RENDER) + ["all", "validate", "robustness", "export",
+                                   "bench"],
         help="which table/figure to regenerate ('validate' checks the "
-             "paper's claims)",
+             "paper's claims; 'bench' times the execution layer)",
     )
     parser.add_argument(
         "--names",
@@ -81,9 +92,48 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="csv",
         help="export format (default: csv)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the run grid "
+             "(default: $REPRO_JOBS or CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the persistent result cache for this invocation",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the hottest functions",
+    )
     args = parser.parse_args(argv)
 
-    runner = SuiteRunner()
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return _dispatch(args)
+        finally:
+            profiler.disable()
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(25)
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.experiment == "bench":
+        print(run_bench(names=args.names, jobs=args.jobs))
+        return 0
+
+    runner = SuiteRunner(
+        cache=False if args.no_cache else None, jobs=args.jobs
+    )
     if args.experiment == "validate":
         claims = validate_claims(runner, args.names)
         print(render_claims(claims))

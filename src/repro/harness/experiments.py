@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..energy.area import AreaModel, OSU_CAPACITY_SWEEP
 from ..workloads import workload_names
+from .parallel import RunRequest
 from .runner import SuiteRunner
 
 __all__ = [
@@ -71,8 +72,16 @@ def fig2_working_set(
     runner: SuiteRunner, names: Optional[Sequence[str]] = None
 ) -> Dict[str, Tuple[float, float]]:
     """benchmark -> (GTO KB, two-level KB) mean working set per window."""
+    names = _names(names)
+    runner.run_grid(
+        [RunRequest.make(n, "baseline", track_working_set=True)
+         for n in names]
+        + [RunRequest.make(n, "baseline", track_working_set=True,
+                           scheduler="two_level")
+           for n in names]
+    )
     result: Dict[str, Tuple[float, float]] = {}
-    for name in _names(names):
+    for name in names:
         gto = runner.run(name, "baseline", track_working_set=True)
         two = runner.run(
             name, "baseline", track_working_set=True, scheduler="two_level"
@@ -102,6 +111,11 @@ def fig3_backing_store(
     """Accesses to each design's register backing store per 100-cycle
     window: main RF for baseline, MRF for RFH, L1 for RegLess."""
     rf_series = ("rf_read", "rf_write")
+    runner.run_grid([
+        RunRequest.make(benchmark, "baseline", window_series=rf_series),
+        RunRequest.make(benchmark, "rfh", window_series=rf_series),
+        RunRequest.make(benchmark, "regless", window_series=("l1_access",)),
+    ])
     base = runner.run(benchmark, "baseline", window_series=rf_series)
     rfh = runner.run(benchmark, "rfh", window_series=rf_series)
     regless = runner.run(benchmark, "regless", window_series=("l1_access",))
@@ -174,6 +188,11 @@ def fig13_pareto(
     """capacity -> (normalized run time, normalized GPU energy), geomean
     across benchmarks."""
     names = _names(names)
+    runner.run_grid(
+        [RunRequest.make(n, "baseline") for n in names]
+        + [RunRequest.make(n, "regless", osu_entries=cap)
+           for cap in capacities for n in names]
+    )
     result: Dict[int, Tuple[float, float]] = {}
     for cap in capacities:
         runtimes, energies = [], []
@@ -195,8 +214,10 @@ def fig14_rf_energy(
     runner: SuiteRunner, names: Optional[Sequence[str]] = None
 ) -> Dict[str, Dict[str, float]]:
     """benchmark -> {rfh, rfv, regless}: RF energy normalized to baseline."""
+    names = _names(names)
+    runner.prefetch(names)
     result: Dict[str, Dict[str, float]] = {}
-    for name in _names(names):
+    for name in names:
         base = runner.run(name, "baseline")
         result[name] = {
             b: runner.run(name, b).rf_energy / base.rf_energy
@@ -210,8 +231,10 @@ def fig15_gpu_energy(
 ) -> Dict[str, Dict[str, float]]:
     """benchmark -> {no_rf, rfh, rfv, regless}: total GPU energy normalized
     to baseline ("no_rf" is the upper bound: a free register file)."""
+    names = _names(names)
+    runner.prefetch(names)
     result: Dict[str, Dict[str, float]] = {}
-    for name in _names(names):
+    for name in names:
         base = runner.run(name, "baseline")
         row = {
             b: runner.run(name, b).gpu_energy / base.gpu_energy
@@ -240,6 +263,9 @@ def fig16_runtime(
     runner: SuiteRunner, names: Optional[Sequence[str]] = None
 ) -> RuntimeResult:
     names = _names(names)
+    runner.prefetch(
+        names, backends=("baseline", "regless", "regless-nc", "rfv", "rfh")
+    )
     per: Dict[str, float] = {}
     ratios = {b: [] for b in ("regless", "regless-nc", "rfv", "rfh")}
     for name in names:
@@ -269,8 +295,10 @@ def fig17_preload_location(
 
     Launch-constant preloads (values synthesized by the launch mechanism)
     are folded into the compressor column, as they are pattern-served."""
+    names = _names(names)
+    runner.prefetch(names, backends=("regless",))
     result: Dict[str, Dict[str, float]] = {}
-    for name in _names(names):
+    for name in names:
         res = runner.run(name, "regless")
         c = res.stats.counters
         total = max(1.0, c.get("preloads", 0.0))
@@ -297,8 +325,10 @@ def fig18_l1_bandwidth(
 ) -> Dict[str, Dict[str, float]]:
     """benchmark -> L1 requests/cycle split into preloads / stores /
     invalidations."""
+    names = _names(names)
+    runner.prefetch(names, backends=("regless",))
     result: Dict[str, Dict[str, float]] = {}
-    for name in _names(names):
+    for name in names:
         res = runner.run(name, "regless")
         c = res.stats.counters
         cycles = max(1, res.cycles)
@@ -343,8 +373,10 @@ def table2_region_sizes(
 ) -> Dict[str, Dict[str, float]]:
     """benchmark -> static instructions per region, dynamic cycles per
     region execution (measured on the RegLess run)."""
+    names = _names(names)
+    runner.prefetch(names, backends=("regless",))
     result: Dict[str, Dict[str, float]] = {}
-    for name in _names(names):
+    for name in names:
         ck = runner.compiled(name)
         res = runner.run(name, "regless")
         c = res.stats.counters
@@ -368,6 +400,7 @@ def energy_breakdown(
     """backend -> mean energy component shares (fractions of that backend's
     own total), averaged across benchmarks."""
     names = _names(names)
+    runner.prefetch(names)
     result: Dict[str, Dict[str, float]] = {}
     for backend in ("baseline", "rfh", "rfv", "regless"):
         acc: Dict[str, float] = {}

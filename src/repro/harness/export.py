@@ -126,11 +126,16 @@ def export_all(
     runner: Optional[SuiteRunner] = None,
     names: Optional[Sequence[str]] = None,
     fmt: str = "csv",
+    jobs: Optional[int] = None,
 ) -> List[str]:
-    """Write every experiment to ``out_dir``; returns the file paths."""
+    """Write every experiment to ``out_dir``; returns the file paths.
+
+    Each experiment prefetches its run grid through
+    :meth:`SuiteRunner.run_grid`, so a fresh export parallelizes across
+    ``jobs`` workers (default: ``REPRO_JOBS`` / CPU count)."""
     import os
 
-    runner = runner or SuiteRunner()
+    runner = runner or SuiteRunner(jobs=jobs)
     os.makedirs(out_dir, exist_ok=True)
     written = []
     for experiment in EXPORTABLE:

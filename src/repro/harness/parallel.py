@@ -1,0 +1,119 @@
+"""Parallel fan-out of simulation-grid runs over worker processes.
+
+The evaluation grid — (benchmark x backend x OSU capacity) — is
+embarrassingly parallel: every run is an independent cycle-level
+simulation.  :func:`run_requests` executes a batch of
+:class:`RunRequest`\\ s on a :class:`~concurrent.futures.ProcessPoolExecutor`
+and returns :class:`~repro.harness.runner.RunResult`\\ s in request order.
+
+Each worker process holds one private
+:class:`~repro.harness.runner.SuiteRunner` (disk cache off — the parent
+coordinates the cache), so compiled kernels and workloads are reused across
+the runs a worker receives.
+
+Worker count resolution order: explicit argument, then ``REPRO_JOBS``, then
+``os.cpu_count()``.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..energy.model import EnergyParams
+    from ..sim.config import GPUConfig
+    from .runner import RunResult, SuiteRunner
+
+__all__ = ["RunRequest", "resolve_jobs", "run_requests"]
+
+
+@dataclass(frozen=True)
+class RunRequest:
+    """One cell of the simulation grid, in picklable/hashable form."""
+
+    benchmark: str
+    backend: str
+    osu_entries: int = 512
+    window_series: Tuple[str, ...] = ()
+    #: sorted ``GPUConfig`` override items (e.g. ``(("scheduler", "lrr"),)``).
+    overrides: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls,
+        benchmark: str,
+        backend: str,
+        osu_entries: int = 512,
+        window_series: Sequence[str] = (),
+        **overrides: Any,
+    ) -> "RunRequest":
+        return cls(
+            benchmark=benchmark,
+            backend=backend,
+            osu_entries=osu_entries,
+            window_series=tuple(window_series),
+            overrides=tuple(sorted(overrides.items())),
+        )
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument > ``REPRO_JOBS`` > CPU count."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+# -- worker side ------------------------------------------------------------
+
+_WORKER_RUNNER: Optional["SuiteRunner"] = None
+
+
+def _init_worker(config: "GPUConfig", energy_params: "EnergyParams") -> None:
+    global _WORKER_RUNNER
+    from ..energy.model import EnergyModel
+    from .runner import SuiteRunner
+
+    _WORKER_RUNNER = SuiteRunner(
+        config=config, energy_model=EnergyModel(energy_params), cache=False
+    )
+
+
+def _run_request(request: RunRequest) -> "RunResult":
+    assert _WORKER_RUNNER is not None, "worker not initialized"
+    return _WORKER_RUNNER.run(
+        request.benchmark,
+        request.backend,
+        osu_entries=request.osu_entries,
+        window_series=request.window_series,
+        **dict(request.overrides),
+    )
+
+
+# -- parent side ------------------------------------------------------------
+
+
+def run_requests(
+    config: "GPUConfig",
+    energy_params: "EnergyParams",
+    requests: Sequence[RunRequest],
+    jobs: Optional[int] = None,
+) -> List["RunResult"]:
+    """Run every request in worker processes; results in request order."""
+    if not requests:
+        return []
+    jobs = min(resolve_jobs(jobs), len(requests))
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_init_worker,
+        initargs=(config, energy_params),
+    ) as pool:
+        return list(pool.map(_run_request, requests))

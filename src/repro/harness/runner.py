@@ -1,7 +1,11 @@
 """Suite runner: execute (benchmark x backend x configuration) and memoize.
 
 Every evaluation figure draws on the same grid of simulation runs, so the
-runner caches results within a process.  Backends:
+runner memoizes results in-process, persists them in a content-addressed
+on-disk cache (:mod:`repro.harness.cache` — a warm re-run of the full
+figure suite is near-instant), and can fan independent runs out over worker
+processes (:mod:`repro.harness.parallel`, via :meth:`SuiteRunner.run_grid`).
+Backends:
 
 * ``baseline`` — full 2048-entry RF, GTO scheduler.
 * ``rfh``      — register-file hierarchy, two-level scheduler (required by
@@ -13,8 +17,10 @@ runner caches results within a process.  Backends:
 
 from __future__ import annotations
 
+import pickle
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..compiler.pipeline import CompiledKernel, compile_kernel
 from ..energy.model import EnergyBreakdown, EnergyModel
@@ -23,11 +29,16 @@ from ..regfile.base import OperandStorage
 from ..regless import ReglessConfig, ReglessStorage
 from ..sim.config import GPUConfig
 from ..sim.gpu import SimStats, run_simulation
-from ..workloads import Workload, make_workload
+from ..workloads import Workload, make_workload, workload_names
+from .cache import ResultCache, cache_enabled, run_digest
+from .parallel import RunRequest, resolve_jobs, run_requests
 
-__all__ = ["BACKENDS", "RunResult", "SuiteRunner"]
+__all__ = ["BACKENDS", "RunResult", "RunRequest", "SuiteRunner"]
 
 BACKENDS = ("baseline", "rfh", "rfv", "regless")
+
+#: anything :meth:`SuiteRunner.run_grid` accepts as one grid cell.
+RequestLike = Union[RunRequest, Tuple, Dict]
 
 
 @dataclass
@@ -40,6 +51,9 @@ class RunResult:
     stats: SimStats
     compiled: CompiledKernel = field(repr=False)
     energy: EnergyBreakdown = field(repr=False)
+    #: per-phase wall-clock seconds: ``compile`` / ``simulate`` / ``energy``
+    #: / ``total`` (and ``cache_load`` when served from the disk cache).
+    timings: Dict[str, float] = field(default_factory=dict, repr=False)
 
     @property
     def cycles(self) -> int:
@@ -55,17 +69,38 @@ class RunResult:
 
 
 class SuiteRunner:
-    """Runs and memoizes the benchmark/backend grid."""
+    """Runs and memoizes the benchmark/backend grid.
+
+    ``cache`` selects the persistent result store: ``None`` uses the
+    default location unless ``REPRO_CACHE=0``; ``False`` disables it; a
+    :class:`~repro.harness.cache.ResultCache` uses that store.  ``jobs``
+    is the default worker count for :meth:`run_grid` (``None`` defers to
+    ``REPRO_JOBS`` / CPU count at call time).
+    """
 
     def __init__(
         self,
         config: Optional[GPUConfig] = None,
         energy_model: Optional[EnergyModel] = None,
+        cache: Union[ResultCache, bool, None] = None,
+        jobs: Optional[int] = None,
     ):
         self.base_config = config or GPUConfig()
         self.energy_model = energy_model or EnergyModel()
+        if cache is None:
+            self.cache: Optional[ResultCache] = (
+                ResultCache() if cache_enabled() else None
+            )
+        elif cache is False:
+            self.cache = None
+        elif cache is True:
+            self.cache = ResultCache()
+        else:
+            self.cache = cache
+        self.jobs = jobs
         self._workloads: Dict[str, Workload] = {}
         self._compiled: Dict[str, CompiledKernel] = {}
+        self._kernel_bytes: Dict[str, bytes] = {}
         self._runs: Dict[Tuple, RunResult] = {}
 
     # -- building blocks -------------------------------------------------------
@@ -79,6 +114,15 @@ class SuiteRunner:
         if name not in self._compiled:
             self._compiled[name] = compile_kernel(self.workload(name).kernel())
         return self._compiled[name]
+
+    def kernel_bytes(self, name: str) -> bytes:
+        """Serialized compiled kernel: the cache-key ingredient that makes
+        compiler changes invalidate stored results."""
+        if name not in self._kernel_bytes:
+            self._kernel_bytes[name] = pickle.dumps(
+                self.compiled(name), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        return self._kernel_bytes[name]
 
     def config_for(self, backend: str, **overrides) -> GPUConfig:
         cfg = self.base_config
@@ -112,7 +156,41 @@ class SuiteRunner:
             return lambda sm, sh: ReglessStorage(compiled, rcfg)
         raise ValueError(f"unknown backend {backend!r}")
 
-    # -- main entry point ----------------------------------------------------------
+    # -- keys ------------------------------------------------------------------
+
+    @staticmethod
+    def _memo_key(request: RunRequest) -> Tuple:
+        return (
+            request.benchmark,
+            request.backend,
+            request.osu_entries,
+            request.window_series,
+            request.overrides,
+        )
+
+    def _digest(self, request: RunRequest) -> str:
+        cfg = self.config_for(request.backend, **dict(request.overrides))
+        workload = self.workload(request.benchmark)
+        return run_digest(
+            config=cfg,
+            backend=request.backend,
+            osu_entries=request.osu_entries,
+            workload_name=request.benchmark,
+            workload_seed=workload.seed,
+            kernel_bytes=self.kernel_bytes(request.benchmark),
+            energy_params=self.energy_model.params,
+            window_series=request.window_series,
+        )
+
+    def _install(self, request: RunRequest, result: RunResult,
+                 store: bool = True) -> RunResult:
+        self._runs[self._memo_key(request)] = result
+        self._compiled.setdefault(request.benchmark, result.compiled)
+        if store and self.cache is not None:
+            self.cache.put(self._digest(request), result)
+        return result
+
+    # -- main entry points ----------------------------------------------------
 
     def run(
         self,
@@ -122,37 +200,147 @@ class SuiteRunner:
         window_series: Tuple[str, ...] = (),
         **config_overrides,
     ) -> RunResult:
-        key = (
-            benchmark,
-            backend,
-            osu_entries,
-            tuple(window_series),
-            tuple(sorted(config_overrides.items())),
+        request = RunRequest.make(
+            benchmark, backend, osu_entries, window_series, **config_overrides
         )
+        key = self._memo_key(request)
         if key in self._runs:
             return self._runs[key]
+        if backend not in BACKENDS + ("regless-nc",):
+            raise ValueError(f"unknown backend {backend!r}")
+        if self.cache is not None:
+            t0 = time.perf_counter()
+            cached = self.cache.get(self._digest(request))
+            if cached is not None:
+                cached.timings["cache_load"] = time.perf_counter() - t0
+                return self._install(request, cached, store=False)
+        return self._install(request, self._execute(request))
 
-        workload = self.workload(benchmark)
-        compiled = self.compiled(benchmark)
-        cfg = self.config_for(backend, **config_overrides)
-        factory = self.storage_factory(backend, compiled, osu_entries)
+    def _execute(self, request: RunRequest) -> RunResult:
+        """Compile + simulate + account energy, with per-phase timings."""
+        t_start = time.perf_counter()
+        workload = self.workload(request.benchmark)
+        compiled = self.compiled(request.benchmark)
+        t_compiled = time.perf_counter()
+        cfg = self.config_for(request.backend, **dict(request.overrides))
+        factory = self.storage_factory(
+            request.backend, compiled, request.osu_entries
+        )
         stats = run_simulation(
-            cfg, compiled, workload, factory, window_series=window_series
+            cfg, compiled, workload, factory,
+            window_series=request.window_series,
         )
-        model_backend = "regless" if backend == "regless-nc" else backend
+        t_simulated = time.perf_counter()
+        model_backend = (
+            "regless" if request.backend == "regless-nc" else request.backend
+        )
         energy = self.energy_model.gpu_energy(
-            stats.counters, stats.cycles, model_backend, osu_entries=osu_entries
+            stats.counters, stats.cycles, model_backend,
+            osu_entries=request.osu_entries,
         )
-        result = RunResult(
-            benchmark=benchmark,
-            backend=backend,
-            osu_entries=osu_entries,
+        t_done = time.perf_counter()
+        return RunResult(
+            benchmark=request.benchmark,
+            backend=request.backend,
+            osu_entries=request.osu_entries,
             stats=stats,
             compiled=compiled,
             energy=energy,
+            timings={
+                "compile": t_compiled - t_start,
+                "simulate": t_simulated - t_compiled,
+                "energy": t_done - t_simulated,
+                "total": t_done - t_start,
+            },
         )
-        self._runs[key] = result
-        return result
+
+    # -- grid execution --------------------------------------------------------
+
+    @staticmethod
+    def _normalize(request: RequestLike) -> RunRequest:
+        if isinstance(request, RunRequest):
+            return request
+        if isinstance(request, dict):
+            return RunRequest.make(**request)
+        return RunRequest.make(*request)
+
+    def run_grid(
+        self,
+        requests: Iterable[RequestLike],
+        jobs: Optional[int] = None,
+    ) -> List[RunResult]:
+        """Run every grid cell, fanning cache misses out over workers.
+
+        ``requests`` may mix :class:`RunRequest` objects,
+        ``(benchmark, backend[, osu_entries])`` tuples, and keyword dicts.
+        Results come back in request order and are memoized exactly as if
+        produced by :meth:`run`, so follow-up serial :meth:`run` calls are
+        hits.  With one effective worker (or one miss) execution stays
+        in-process.
+        """
+        reqs = [self._normalize(r) for r in requests]
+        for req in reqs:  # validate backends before any dispatch
+            if req.backend not in BACKENDS + ("regless-nc",):
+                raise ValueError(f"unknown backend {req.backend!r}")
+        results: Dict[int, RunResult] = {}
+        pending: List[Tuple[int, RunRequest]] = []
+        seen: Dict[RunRequest, int] = {}
+        for i, req in enumerate(reqs):
+            key = self._memo_key(req)
+            if key in self._runs:
+                results[i] = self._runs[key]
+                continue
+            if self.cache is not None:
+                t0 = time.perf_counter()
+                cached = self.cache.get(self._digest(req))
+                if cached is not None:
+                    cached.timings["cache_load"] = time.perf_counter() - t0
+                    results[i] = self._install(req, cached, store=False)
+                    continue
+            if req in seen:  # duplicate miss: run once
+                pending.append((i, req))
+                continue
+            seen[req] = i
+            pending.append((i, req))
+
+        unique = [(i, req) for i, req in pending if seen.get(req) == i]
+        jobs = resolve_jobs(jobs if jobs is not None else self.jobs)
+        if unique:
+            if jobs <= 1 or len(unique) == 1:
+                for _, req in unique:
+                    self._install(req, self._execute(req))
+            else:
+                outs = run_requests(
+                    self.base_config,
+                    self.energy_model.params,
+                    [req for _, req in unique],
+                    jobs=jobs,
+                )
+                for (_, req), result in zip(unique, outs):
+                    self._install(req, result)
+        for i, req in pending:
+            results[i] = self._runs[self._memo_key(req)]
+        return [results[i] for i in range(len(reqs))]
+
+    def prefetch(
+        self,
+        names: Optional[Sequence[str]] = None,
+        backends: Sequence[str] = BACKENDS,
+        osu_entries: Sequence[int] = (512,),
+        window_series: Tuple[str, ...] = (),
+        jobs: Optional[int] = None,
+        **config_overrides,
+    ) -> List[RunResult]:
+        """Warm the (benchmark x backend x capacity) grid in parallel."""
+        requests = [
+            RunRequest.make(
+                name, backend, entries, window_series, **config_overrides
+            )
+            for name in (list(names) if names else workload_names())
+            for backend in backends
+            for entries in osu_entries
+        ]
+        return self.run_grid(requests, jobs=jobs)
 
     def no_rf_energy(self, benchmark: str) -> float:
         """The "No RF" upper bound (Figure 15): baseline timing with a

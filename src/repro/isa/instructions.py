@@ -8,7 +8,7 @@ needs (reads / writes of general registers).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from .opcodes import Opcode
@@ -29,7 +29,7 @@ class PredGuard:
         return f"@{bang}{self.pred}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instruction:
     """One static instruction.
 
@@ -53,6 +53,19 @@ class Instruction:
     target: Optional[str] = None
     tag: Optional[str] = None
 
+    # Register accessors, precomputed once at construction: the simulator's
+    # scoreboard and issue loop read these every cycle, so they must be
+    # plain attribute loads rather than recomputed properties.
+    #: general registers written by this instruction.
+    reg_dsts: Tuple[Reg, ...] = field(init=False, repr=False, compare=False)
+    #: general registers read by this instruction.
+    reg_srcs: Tuple[Reg, ...] = field(init=False, repr=False, compare=False)
+    pred_dsts: Tuple[Pred, ...] = field(init=False, repr=False, compare=False)
+    #: predicate sources, including the guard predicate.
+    pred_srcs: Tuple[Pred, ...] = field(init=False, repr=False, compare=False)
+    #: all general registers referenced (reads then writes).
+    regs: Tuple[Reg, ...] = field(init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
         if self.opcode.info.is_branch and self.target is None:
             raise ValueError("BRA requires a target label")
@@ -61,34 +74,18 @@ class Instruction:
         for d in self.dsts:
             if isinstance(d, Imm):
                 raise ValueError("immediate cannot be a destination")
-
-    # -- register accessors -------------------------------------------------
-
-    @property
-    def reg_dsts(self) -> Tuple[Reg, ...]:
-        """General registers written by this instruction."""
-        return tuple(d for d in self.dsts if isinstance(d, Reg))
-
-    @property
-    def reg_srcs(self) -> Tuple[Reg, ...]:
-        """General registers read by this instruction."""
-        return tuple(s for s in self.srcs if isinstance(s, Reg))
-
-    @property
-    def pred_dsts(self) -> Tuple[Pred, ...]:
-        return tuple(d for d in self.dsts if isinstance(d, Pred))
-
-    @property
-    def pred_srcs(self) -> Tuple[Pred, ...]:
-        preds = [s for s in self.srcs if isinstance(s, Pred)]
+        set_ = object.__setattr__  # frozen dataclass
+        reg_dsts = tuple(d for d in self.dsts if isinstance(d, Reg))
+        reg_srcs = tuple(s for s in self.srcs if isinstance(s, Reg))
+        pred_srcs = [s for s in self.srcs if isinstance(s, Pred)]
         if self.guard is not None:
-            preds.append(self.guard.pred)
-        return tuple(preds)
-
-    @property
-    def regs(self) -> Tuple[Reg, ...]:
-        """All general registers referenced (reads then writes)."""
-        return self.reg_srcs + self.reg_dsts
+            pred_srcs.append(self.guard.pred)
+        set_(self, "reg_dsts", reg_dsts)
+        set_(self, "reg_srcs", reg_srcs)
+        set_(self, "pred_dsts",
+             tuple(d for d in self.dsts if isinstance(d, Pred)))
+        set_(self, "pred_srcs", tuple(pred_srcs))
+        set_(self, "regs", reg_srcs + reg_dsts)
 
     @property
     def is_guarded(self) -> bool:

@@ -39,7 +39,7 @@ __all__ = ["OperandStagingUnit", "Bank"]
 Key = Tuple[int, int]  # (warp id, register index)
 
 
-@dataclass
+@dataclass(slots=True)
 class _Entry:
     state: str  # "active" | "clean" | "dirty"
     dirty: bool  # modified since last L1 read
@@ -122,16 +122,27 @@ class Bank:
                 entry.state = "dirty"
                 self.dirty[key] = None
 
-    def mark_evictable(self, key: Key) -> None:
+    def mark_evictable(self, key: Key) -> Optional[Key]:
+        """Release an active line at region end.
+
+        While the bank is in (bounded) active overflow the evictable lists
+        must stay empty — a line released over capacity is reclaimed on the
+        spot instead of being parked.  Returns the key when the reclaimed
+        line was dirty and the caller must write it back.
+        """
         entry = self.tags.get(key)
         if entry is None or entry.state != "active":
-            return
+            return None
+        if len(self.tags) > self.capacity:
+            del self.tags[key]
+            return key if entry.dirty else None
         if entry.dirty:
             entry.state = "dirty"
             self.dirty[key] = None
         else:
             entry.state = "clean"
             self.clean[key] = None
+        return None
 
     @property
     def active_count(self) -> int:
@@ -142,7 +153,7 @@ class Bank:
         return max(0, len(self.tags) - self.capacity)
 
 
-@dataclass
+@dataclass(slots=True)
 class _PreloadJob:
     warp_id: int
     reg: int
@@ -245,7 +256,11 @@ class OperandStagingUnit:
         self.bank(warp_id, reg).erase((warp_id, reg))
 
     def mark_evictable(self, warp_id: int, reg: int) -> None:
-        self.bank(warp_id, reg).mark_evictable((warp_id, reg))
+        victim = self.bank(warp_id, reg).mark_evictable((warp_id, reg))
+        if victim is not None:
+            # Overflow reclaim of a dirty line: write it back like any
+            # other dirty eviction.
+            self._queue_eviction(victim)
 
     def erase_warp(self, warp_id: int, n_regs: int) -> None:
         """Drop every entry of an exiting warp (values are dead)."""

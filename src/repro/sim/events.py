@@ -7,7 +7,7 @@ dict lookup instead of a priority queue.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 __all__ = ["EventWheel"]
 
@@ -37,6 +37,12 @@ class EventWheel:
             self._pending -= len(bucket)
             for fn in bucket:
                 fn()
+
+    def next_event_cycle(self) -> Optional[int]:
+        """The earliest cycle with a scheduled event, or ``None`` when the
+        wheel is empty (used by the simulator's fast-forward path)."""
+        buckets = self._buckets
+        return min(buckets) if buckets else None
 
     @property
     def pending_events(self) -> int:

@@ -10,7 +10,7 @@ memory-latency-bound phases dramatically without changing results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Sequence, Set, Tuple
 
 from typing import TYPE_CHECKING
 
@@ -81,16 +81,34 @@ class GPU:
         self.wheel = EventWheel()
         self.hierarchy = MemoryHierarchy(config, self.counters, self.wheel)
         self.working_set: Set[Tuple[int, int]] = set()
+        #: warps that have exited, across all SMs (bumped by
+        #: :meth:`SM.notify_warp_done`; lets the run loop test completion
+        #: with one comparison instead of scanning every warp each cycle).
+        self.warps_done_total = 0
         self.sms = [
             SM(self, sm_id, lambda shard_id, _sm=sm_id: storage_factory(_sm, shard_id))
             for sm_id in range(config.n_sms)
+        ]
+        self._storages = [
+            shard.storage for sm in self.sms for shard in sm.shards
         ]
 
     # -- run loop -----------------------------------------------------------------
 
     def run(self, window_series: Sequence[str] = ()) -> SimStats:
+        # The loop body runs once per simulated cycle; everything it touches
+        # repeatedly is bound to a local first.
         cfg = self.config
         wheel = self.wheel
+        sms = self.sms
+        hierarchy = self.hierarchy
+        storages = self._storages
+        counters = self.counters
+        working_set = self.working_set
+        warps_total = sum(len(sm.warps) for sm in sms)
+        max_cycles = cfg.max_cycles
+        fast_forward = cfg.fast_forward
+        track_ws = cfg.track_working_set
         instructions = 0
         ws_samples: List[int] = []
         series: Dict[str, List[float]] = {name: [] for name in window_series}
@@ -99,55 +117,56 @@ class GPU:
         next_window = window
         idle_cycles = 0
 
-        while wheel.now < cfg.max_cycles:
-            if all(sm.done for sm in self.sms) and not self._work_outstanding():
+        def sample_window() -> None:
+            # Window sampling (Figures 2 and 3); shared by the normal and
+            # fast-forward paths.
+            nonlocal next_window
+            if track_ws:
+                ws_samples.append(len(working_set))
+                working_set.clear()
+            for name in window_series:
+                value = counters.get(name)
+                series[name].append(value - last_counter_vals[name])
+                last_counter_vals[name] = value
+            next_window += window
+
+        while wheel.now < max_cycles:
+            if (
+                self.warps_done_total >= warps_total
+                and not self._work_outstanding()
+            ):
                 break
 
             wheel.tick()
-            self.hierarchy.cycle()
+            hierarchy.cycle()
             issued = 0
-            for sm in self.sms:
+            for sm in sms:
                 issued += sm.cycle()
             instructions += issued
 
-            # Window sampling (Figures 2 and 3).
             if wheel.now >= next_window:
-                if cfg.track_working_set:
-                    ws_samples.append(len(self.working_set))
-                    self.working_set.clear()
-                for name in window_series:
-                    value = self.counters.get(name)
-                    series[name].append(value - last_counter_vals[name])
-                    last_counter_vals[name] = value
-                next_window += window
+                sample_window()
 
-            # Fast-forward over dead cycles.
-            if cfg.fast_forward and issued == 0 and not self.hierarchy.busy and all(
-                sm.storage_idle for sm in self.sms
-            ):
-                nxt = self._next_event_cycle()
+            if issued or hierarchy.busy or not all(st.idle for st in storages):
+                idle_cycles = 0
+                continue
+
+            # Dead cycle: nothing issued and no background pump has work.
+            if fast_forward:
+                nxt = wheel.next_event_cycle()
                 if nxt is None:
                     idle_cycles += 1
                     if idle_cycles > 10_000:
                         self._raise_deadlock()
                 else:
+                    # Fast-forward straight to the next scheduled event.
                     idle_cycles = 0
-                    skip_to = min(nxt - 1, cfg.max_cycles)
+                    skip_to = min(nxt - 1, max_cycles)
                     while wheel.now < skip_to:
                         wheel.tick()  # empty buckets: O(1)
                         if wheel.now >= next_window:
-                            if cfg.track_working_set:
-                                ws_samples.append(len(self.working_set))
-                                self.working_set.clear()
-                            for name in window_series:
-                                value = self.counters.get(name)
-                                series[name].append(value - last_counter_vals[name])
-                                last_counter_vals[name] = value
-                            next_window += window
-            elif issued == 0 and self.wheel.pending_events == 0 and (
-                not self.hierarchy.busy
-                and all(sm.storage_idle for sm in self.sms)
-            ):
+                            sample_window()
+            elif wheel.pending_events == 0:
                 idle_cycles += 1
                 if idle_cycles > 10_000:
                     self._raise_deadlock()
@@ -175,12 +194,8 @@ class GPU:
         return (
             self.wheel.pending_events > 0
             or self.hierarchy.busy
-            or any(not sm.storage_idle for sm in self.sms)
+            or not all(st.idle for st in self._storages)
         )
-
-    def _next_event_cycle(self) -> Optional[int]:
-        buckets = self.wheel._buckets  # noqa: SLF001 - hot-path peek
-        return min(buckets) if buckets else None
 
     def _raise_deadlock(self) -> None:
         stuck = []

@@ -47,21 +47,23 @@ class Shard:
     def cycle(self) -> int:
         """Run one cycle; returns the number of instructions issued."""
         self.storage.cycle()
-        cfg = self.sm.config
-        budget = cfg.issue_width
+        sm = self.sm
+        scheduler = self.scheduler
+        try_issue = self._try_issue
+        budget = sm.config.issue_width
         issued = 0
-        now = self.sm.wheel.now
-        for warp in self.scheduler.order(now):
+        now = sm.wheel.now
+        for warp in scheduler.order(now):
             if budget <= 0:
                 break
-            if not self._try_issue(warp, now):
+            if not try_issue(warp, now):
                 continue
             budget -= 1
             issued += 1
-            self.scheduler.notify_issue(warp, now)
+            scheduler.notify_issue(warp, now)
             # GTX 980 schedulers dual-issue a second, independent
             # instruction from the same warp.
-            if budget > 0 and self._try_issue(warp, now):
+            if budget > 0 and try_issue(warp, now):
                 budget -= 1
                 issued += 1
         return issued

@@ -125,6 +125,7 @@ class SM:
 
     def notify_warp_done(self, warp: Warp) -> None:
         self.warps_done += 1
+        self.gpu.warps_done_total += 1
         # A warp exiting may release its CTA's barrier.
         cta = warp.cta_id
         if self._barrier_count.get(cta, 0) > 0:
@@ -149,7 +150,9 @@ class SM:
 
     @property
     def done(self) -> bool:
-        return all(w.exited for w in self.warps)
+        # Counter-based: every exit goes through notify_warp_done, so this
+        # avoids rescanning every warp each cycle.
+        return self.warps_done >= len(self.warps)
 
     @property
     def inflight(self) -> int:

@@ -24,7 +24,7 @@ from .values import LaneValues, ZERO, mix_hash
 __all__ = ["StackEntry", "Warp"]
 
 
-@dataclass
+@dataclass(slots=True)
 class StackEntry:
     """One SIMT stack level."""
 
@@ -33,7 +33,7 @@ class StackEntry:
     pc: int
 
 
-@dataclass
+@dataclass(slots=True)
 class Warp:
     """Dynamic state of one warp."""
 
@@ -147,18 +147,19 @@ class Warp:
     # -- scoreboard ----------------------------------------------------------------
 
     def scoreboard_ready(self, insn: Instruction) -> bool:
-        for r in insn.reg_srcs:
-            if self.pending_regs.get(r.index, 0):
-                return False
-        for r in insn.reg_dsts:
-            if self.pending_regs.get(r.index, 0):
-                return False
-        for p in insn.pred_srcs:
-            if self.pending_preds.get(p.index, 0):
-                return False
-        for p in insn.pred_dsts:
-            if self.pending_preds.get(p.index, 0):
-                return False
+        pending_regs = self.pending_regs
+        if pending_regs:
+            for r in insn.regs:
+                if r.index in pending_regs:
+                    return False
+        pending_preds = self.pending_preds
+        if pending_preds:
+            for p in insn.pred_srcs:
+                if p.index in pending_preds:
+                    return False
+            for p in insn.pred_dsts:
+                if p.index in pending_preds:
+                    return False
         return True
 
     def mark_pending(self, insn: Instruction) -> None:

@@ -1,0 +1,113 @@
+"""Parallel grid execution must be indistinguishable from serial runs."""
+
+import pytest
+
+from repro.harness import RunRequest, SuiteRunner, resolve_jobs
+from repro.sim import GPUConfig
+
+
+SMALL = dict(warps_per_sm=8, schedulers_per_sm=2, cta_size_warps=4)
+SUBSET = ("bfs", "nw", "streamcluster")
+
+
+@pytest.fixture
+def serial_runner():
+    return SuiteRunner(config=GPUConfig(**SMALL), cache=False)
+
+
+@pytest.fixture
+def grid_runner():
+    return SuiteRunner(config=GPUConfig(**SMALL), cache=False)
+
+
+def assert_results_match(a, b):
+    assert a.benchmark == b.benchmark
+    assert a.backend == b.backend
+    assert a.cycles == b.cycles
+    assert a.stats.counters == b.stats.counters
+    assert a.energy == b.energy
+
+
+class TestGridEqualsSerial:
+    def test_parallel_grid_matches_serial_runs(self, serial_runner,
+                                               grid_runner):
+        requests = [
+            RunRequest.make(name, backend)
+            for name in SUBSET
+            for backend in ("baseline", "regless")
+        ]
+        parallel = grid_runner.run_grid(requests, jobs=2)
+        serial = [
+            serial_runner.run(r.benchmark, r.backend) for r in requests
+        ]
+        assert len(parallel) == len(serial) == len(requests)
+        for p, s in zip(parallel, serial):
+            assert_results_match(p, s)
+
+    def test_grid_results_are_memoized(self, grid_runner):
+        [result] = grid_runner.run_grid([("bfs", "baseline")], jobs=2)
+        assert grid_runner.run("bfs", "baseline") is result
+
+    def test_request_order_preserved(self, grid_runner):
+        requests = [(n, "baseline") for n in SUBSET]
+        results = grid_runner.run_grid(requests, jobs=2)
+        assert [r.benchmark for r in results] == list(SUBSET)
+
+
+class TestRequestForms:
+    def test_tuple_dict_and_request_mix(self, grid_runner):
+        results = grid_runner.run_grid(
+            [
+                ("bfs", "baseline"),
+                {"benchmark": "bfs", "backend": "regless"},
+                RunRequest.make("nw", "baseline"),
+            ],
+            jobs=1,
+        )
+        assert [(r.benchmark, r.backend) for r in results] == [
+            ("bfs", "baseline"), ("bfs", "regless"), ("nw", "baseline"),
+        ]
+
+    def test_duplicate_requests_run_once(self, grid_runner):
+        a, b = grid_runner.run_grid(
+            [("bfs", "baseline"), ("bfs", "baseline")], jobs=2
+        )
+        assert a is b
+
+    def test_unknown_backend_rejected_before_dispatch(self, grid_runner):
+        with pytest.raises(ValueError):
+            grid_runner.run_grid([("bfs", "magic")], jobs=2)
+
+    def test_overrides_reach_workers(self, grid_runner):
+        [two_level] = grid_runner.run_grid(
+            [RunRequest.make("bfs", "baseline", scheduler="two_level")],
+            jobs=2,
+        )
+        gto = grid_runner.run("bfs", "baseline")
+        assert two_level is not gto
+
+
+class TestResolveJobs:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs() == 5
+
+    def test_invalid_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        assert resolve_jobs() >= 1
+
+    def test_floor_is_one(self):
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(-4) == 1
+
+
+class TestTimings:
+    def test_executed_run_records_phases(self, grid_runner):
+        result = grid_runner.run("bfs", "baseline")
+        for phase in ("compile", "simulate", "energy", "total"):
+            assert result.timings[phase] >= 0.0
+        assert result.timings["total"] >= result.timings["simulate"]

@@ -44,6 +44,19 @@ class TestScheduling:
         w.tick()
         assert fired == ["a", "b"]
 
+    def test_next_event_cycle(self):
+        w = EventWheel()
+        assert w.next_event_cycle() is None
+        w.at(7, lambda: None)
+        w.at(4, lambda: None)
+        assert w.next_event_cycle() == 4
+        for _ in range(4):
+            w.tick()
+        assert w.next_event_cycle() == 7
+        for _ in range(3):
+            w.tick()
+        assert w.next_event_cycle() is None
+
     def test_pending_count(self):
         w = EventWheel()
         w.at(5, lambda: None)

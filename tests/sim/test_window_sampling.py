@@ -34,6 +34,20 @@ def test_series_identical_with_and_without_fast_forward(loop_workload,
     assert fast.window_series == slow.window_series
 
 
+def test_working_set_samples_identical_with_and_without_fast_forward(
+        loop_workload, fast_config):
+    # The sampling block is shared between the normal per-cycle path and the
+    # fast-forward catch-up path; a desync between the two would show up as
+    # differing sample series.
+    cfg = fast_config.with_(track_working_set=True)
+    fast = run(loop_workload, cfg, window_series=("rf_read",))
+    slow = run(loop_workload, cfg.with_(fast_forward=False),
+               window_series=("rf_read",))
+    assert fast.working_set_samples == slow.working_set_samples
+    assert fast.window_series == slow.window_series
+    assert fast.cycles == slow.cycles
+
+
 def test_window_length_matches_cycle_count(loop_workload, fast_config):
     stats = run(loop_workload, fast_config, window_series=("rf_read",))
     expected = stats.cycles // fast_config.working_set_window
