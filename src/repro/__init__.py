@@ -8,6 +8,7 @@ Public API tour:
 * :mod:`repro.regless`  — the RegLess hardware model (OSU, CM, compressor).
 * :mod:`repro.regfile`  — baseline / RFH / RFV operand-storage backends.
 * :mod:`repro.energy`   — energy, power and area models.
+* :mod:`repro.obs`      — stall attribution, metrics registry, trace export.
 * :mod:`repro.workloads`— the 21 synthetic Rodinia benchmarks.
 * :mod:`repro.harness`  — per-figure experiments (``python -m repro.harness``).
 

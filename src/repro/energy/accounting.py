@@ -4,6 +4,12 @@ Every hardware model increments named counters (``rf_read``, ``osu_tag``,
 ``l2_access``, ...); the energy model later converts counts to joules.
 Counters are a thin wrapper over a ``dict`` with attribute-style access so
 call sites read like hardware events: ``counters.inc("osu_read")``.
+
+Components may instead emit through a :class:`repro.obs.metrics.MetricScope`
+(duck-typed to this class), which mirrors every increment into a
+hierarchical registry *and* into these flat counters under the legacy name —
+the energy model and cached results are unaffected by the observability
+layer.
 """
 
 from __future__ import annotations
@@ -37,6 +43,10 @@ class Counters:
 
     def as_dict(self) -> Dict[str, float]:
         return dict(self._counts)
+
+    def total(self, prefix: str) -> float:
+        """Sum of every counter whose name starts with ``prefix``."""
+        return sum(v for k, v in self._counts.items() if k.startswith(prefix))
 
     def merge(self, other: "Counters") -> None:
         for name, value in other._counts.items():

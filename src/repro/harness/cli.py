@@ -8,6 +8,8 @@ Examples::
     python -m repro.harness all --jobs 8          # fan runs over 8 workers
     python -m repro.harness bench                 # time serial/parallel/warm
     python -m repro.harness fig16 --profile       # cProfile hotspots
+    python -m repro.harness stalls bfs nw         # warp-cycle stall breakdown
+    python -m repro.harness trace bfs --perfetto  # Chrome-trace JSON export
 
 Worker count defaults to ``REPRO_JOBS`` or the CPU count; results persist
 in the cache described in :mod:`repro.harness.cache` unless ``--no-cache``
@@ -17,13 +19,14 @@ in the cache described in :mod:`repro.harness.cache` unless ``--no-cache``
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from . import experiments as ex
 from . import report
 from .bench import run_bench
-from .runner import SuiteRunner
+from .runner import BACKENDS, SuiteRunner
 from .export import export_all
 from .robustness import render_robustness, seed_robustness
 from .validate import render_claims, validate_claims
@@ -71,9 +74,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(_RENDER) + ["all", "validate", "robustness", "export",
-                                   "bench"],
+                                   "bench", "stalls", "trace"],
         help="which table/figure to regenerate ('validate' checks the "
-             "paper's claims; 'bench' times the execution layer)",
+             "paper's claims; 'bench' times the execution layer; 'stalls' "
+             "prints the warp-cycle stall breakdown; 'trace' records a "
+             "pipeline trace)",
+    )
+    parser.add_argument(
+        "benchmarks",
+        nargs="*",
+        help="positional benchmark subset (same as --names)",
     )
     parser.add_argument(
         "--names",
@@ -84,7 +94,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--out",
         default="results",
-        help="output directory for 'export' (default: results/)",
+        help="output directory for 'export' and 'trace' (default: results/)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKENDS + ("regless-nc",),
+        default=None,
+        help="restrict 'stalls' to one backend (default: all four) / "
+             "pick the 'trace' backend (default: regless)",
+    )
+    parser.add_argument(
+        "--perfetto",
+        action="store_true",
+        help="for 'trace': write Chrome-trace JSON (open in "
+             "https://ui.perfetto.dev) instead of printing text",
     )
     parser.add_argument(
         "--format",
@@ -131,9 +154,24 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(run_bench(names=args.names, jobs=args.jobs))
         return 0
 
+    names = args.names if args.names is not None else (args.benchmarks or None)
     runner = SuiteRunner(
         cache=False if args.no_cache else None, jobs=args.jobs
     )
+    if args.experiment == "stalls":
+        backends = [args.backend] if args.backend else list(BACKENDS)
+        targets = names or ["bfs", "nw"]
+        results = runner.run_grid(
+            [(n, b) for n in targets for b in backends]
+        )
+        data: dict = {}
+        for res in results:
+            data.setdefault(res.benchmark, {})[res.backend] = res.stats.stalls
+        print(report.render_stalls(data))
+        return 0
+    if args.experiment == "trace":
+        return _trace(runner, names or ["bfs"], args.backend or "regless",
+                      args.out, args.perfetto)
     if args.experiment == "validate":
         claims = validate_claims(runner, args.names)
         print(render_claims(claims))
@@ -149,8 +187,38 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     targets = sorted(_RENDER) if args.experiment == "all" else [args.experiment]
     for target in targets:
-        print(run_experiment(target, runner, args.names))
+        print(run_experiment(target, runner, names))
         print()
+    return 0
+
+
+def _trace(runner: SuiteRunner, names: List[str], backend: str,
+           out_dir: str, perfetto: bool) -> int:
+    """Run each benchmark once with a Tracer attached; print the pipeline
+    view or export Chrome-trace JSON for https://ui.perfetto.dev."""
+    from ..obs.perfetto import write_chrome_trace
+    from ..sim.gpu import GPU
+    from ..sim.trace import Tracer
+
+    for name in names:
+        compiled = runner.compiled(name)
+        cfg = runner.config_for(backend)
+        factory = runner.storage_factory(backend, compiled)
+        gpu = GPU(cfg, compiled, runner.workload(name), factory)
+        tracer = Tracer()
+        tracer.attach(gpu)
+        gpu.run()
+        if perfetto:
+            os.makedirs(out_dir, exist_ok=True)
+            path = os.path.join(out_dir, f"trace_{name}_{backend}.json")
+            write_chrome_trace(path, tracer)
+            print(f"wrote {path} ({len(tracer.events)} events, "
+                  f"{len(tracer.region_spans)} region spans)")
+        else:
+            print(f"== {name} ({backend}) ==")
+            print(tracer.render())
+            for span in list(tracer.region_spans)[:50]:
+                print(span.render())
     return 0
 
 

@@ -4,9 +4,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
+from ..obs.stalls import ISSUED, STALL_REASONS
 from .experiments import BackingStoreSeries, RuntimeResult
 
 __all__ = [
+    "render_stalls",
     "render_fig2",
     "render_fig3",
     "render_fig5",
@@ -34,6 +36,30 @@ def _table(header: Sequence[str], rows: List[Sequence[str]]) -> str:
     lines = [fmt(header), fmt(["-" * w for w in widths])]
     lines.extend(fmt(r) for r in rows)
     return "\n".join(lines)
+
+
+def render_stalls(data: Dict[str, Dict[str, Dict[str, int]]]) -> str:
+    """Per-benchmark stall breakdown; ``data[benchmark][backend]`` maps
+    reason -> warp-cycles (:attr:`repro.sim.gpu.SimStats.stalls`)."""
+    blocks = []
+    for name, per_backend in data.items():
+        backends = list(per_backend)
+        totals = {b: sum(per_backend[b].values()) or 1 for b in backends}
+        rows = []
+        for reason in (ISSUED,) + STALL_REASONS:
+            counts = [per_backend[b].get(reason, 0) for b in backends]
+            if not any(counts):
+                continue
+            rows.append((
+                reason,
+                *[f"{100.0 * c / totals[b]:6.2f}%"
+                  for b, c in zip(backends, counts)],
+            ))
+        blocks.append(
+            f"{name}: where warp-cycles went (% of warps x cycles)\n"
+            + _table(("reason", *backends), rows)
+        )
+    return "\n\n".join(blocks)
 
 
 def render_fig2(data: Dict[str, Tuple[float, float]]) -> str:

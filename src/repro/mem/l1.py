@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..energy.accounting import Counters
 from ..sim.config import GPUConfig
 from ..sim.events import EventWheel
 from .cache import MSHRFile, SetAssocCache
@@ -29,7 +28,7 @@ class L1RegCache:
         self,
         sm_id: int,
         config: GPUConfig,
-        counters: Counters,
+        counters,  # Counters or a repro.obs.metrics.MetricScope
         wheel: EventWheel,
         hierarchy: MemoryHierarchy,
     ):
@@ -61,6 +60,7 @@ class L1RegCache:
         ready, with ``source`` in {"l1", "l2dram"}.  Returns False when the
         port or MSHRs are busy (caller retries next cycle)."""
         if not self.port_free:
+            self.counters.inc("l1_port_reject")
             return False
         addr = self.cache.align(addr)
         self.counters.inc("l1_access")
@@ -70,6 +70,7 @@ class L1RegCache:
             self.wheel.after(self.config.l1_latency, lambda: callback("l1"))
             return True
         if not self.mshrs.can_allocate(addr):
+            self.counters.inc("l1_mshr_reject")
             return False
         self._take_port()
         self.counters.inc("l1_miss")
@@ -91,6 +92,7 @@ class L1RegCache:
     def write(self, addr: int, callback: Optional[Callable[[], None]] = None) -> bool:
         """Write a full register line (OSU eviction).  No fetch on miss."""
         if not self.port_free:
+            self.counters.inc("l1_port_reject")
             return False
         self._take_port()
         addr = self.cache.align(addr)
@@ -107,6 +109,7 @@ class L1RegCache:
     def invalidate(self, addr: int) -> bool:
         """Drop a dead register line (compiler cache-invalidate annotation)."""
         if not self.port_free:
+            self.counters.inc("l1_port_reject")
             return False
         self._take_port()
         self.counters.inc("l1_access")

@@ -1,0 +1,43 @@
+"""``repro.obs`` — structured observability for the simulator.
+
+Three layers, all opt-out-free (they ride along with every run):
+
+* :mod:`repro.obs.metrics` — a hierarchical metrics registry
+  (counter/gauge/histogram addressed by component paths such as
+  ``sm0.shard1.cm.region_activations``).  Component scopes forward every
+  increment to the legacy flat :class:`~repro.energy.accounting.Counters`
+  under the old name, so energy accounting and cached results keep
+  working unchanged.
+* :mod:`repro.obs.stalls` — per-cycle stall attribution: every warp-cycle
+  that does not issue is binned into exactly one stall reason, and the
+  bins are conservative (reasons + issued == ``warps x cycles``).
+* :mod:`repro.obs.perfetto` — a Chrome-trace (Perfetto) exporter for
+  :class:`~repro.sim.trace.Tracer` events and RegLess region spans.
+"""
+
+from .metrics import MetricScope, MetricsRegistry
+from .stalls import (
+    ISSUED,
+    STALL_REASONS,
+    ShardStallTracker,
+    check_conservation,
+    merge_stalls,
+)
+from .perfetto import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "MetricScope",
+    "MetricsRegistry",
+    "ISSUED",
+    "STALL_REASONS",
+    "ShardStallTracker",
+    "check_conservation",
+    "merge_stalls",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

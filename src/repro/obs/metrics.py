@@ -1,0 +1,167 @@
+"""Hierarchical metrics registry with legacy-counter aliasing.
+
+Hardware components emit events into a :class:`MetricScope` whose path
+names the component instance (``sm0.shard1.cm``, ``sm0.l1``, ...).  The
+scope records the event twice:
+
+* under its **hierarchical path** in the owning :class:`MetricsRegistry`
+  (``sm0.shard1.cm.region_activations``), which is what the ``stalls``
+  CLI, the Perfetto exporter, and per-component reports read; and
+* under the **legacy flat name** (``region_activations``) in the
+  :class:`~repro.energy.accounting.Counters` the registry bridges, so the
+  energy model, the figure experiments, and previously cached results see
+  exactly the counter names they always did.
+
+A scope is duck-type-compatible with ``Counters`` (it has ``inc`` and
+``get``), so every component that used to take a ``Counters`` can take a
+scope without code changes at its call sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["MetricsRegistry", "MetricScope"]
+
+
+class MetricScope:
+    """A component-path view onto a :class:`MetricsRegistry`.
+
+    ``inc``/``get`` mirror the legacy ``Counters`` API; ``gauge`` and
+    ``observe`` add the richer metric kinds.
+    """
+
+    __slots__ = ("registry", "path")
+
+    def __init__(self, registry: "MetricsRegistry", path: str):
+        self.registry = registry
+        self.path = path
+
+    def _full(self, name: str) -> str:
+        return f"{self.path}.{name}" if self.path else name
+
+    # -- Counters-compatible surface ----------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Count an event under this component (and its legacy alias)."""
+        self.registry.inc(self._full(name), amount, legacy=name)
+
+    def get(self, name: str) -> float:
+        """This component's count (NOT the legacy aggregate)."""
+        return self.registry.counters.get(self._full(name), 0.0)
+
+    # -- richer metric kinds -------------------------------------------------
+
+    def gauge(self, name: str, value: float) -> None:
+        self.registry.gauge(self._full(name), value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.registry.observe(self._full(name), value)
+
+    def scope(self, name: str) -> "MetricScope":
+        """A child scope (``sm0.shard1`` -> ``sm0.shard1.cm``)."""
+        return MetricScope(self.registry, self._full(name))
+
+    def __repr__(self) -> str:
+        return f"MetricScope({self.path!r})"
+
+
+class MetricsRegistry:
+    """Process-wide store of hierarchical counters, gauges and histograms.
+
+    ``legacy`` is the flat :class:`~repro.energy.accounting.Counters`
+    instance that scope increments are mirrored into (under the metric's
+    un-prefixed name); pass ``None`` to run without the bridge.
+    """
+
+    def __init__(self, legacy=None):
+        self.legacy = legacy
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        #: histogram: path -> {observed value -> occurrences}.
+        self.histograms: Dict[str, Dict[float, int]] = {}
+
+    # -- emission -------------------------------------------------------------
+
+    def inc(self, path: str, amount: float = 1.0,
+            legacy: Optional[str] = None) -> None:
+        self.counters[path] = self.counters.get(path, 0.0) + amount
+        if legacy is not None and self.legacy is not None:
+            self.legacy.inc(legacy, amount)
+
+    def gauge(self, path: str, value: float) -> None:
+        self.gauges[path] = value
+
+    def observe(self, path: str, value: float) -> None:
+        hist = self.histograms.setdefault(path, {})
+        hist[value] = hist.get(value, 0) + 1
+
+    def scope(self, path: str) -> MetricScope:
+        return MetricScope(self, path)
+
+    # -- queries --------------------------------------------------------------
+
+    def get(self, path: str) -> float:
+        return self.counters.get(path, 0.0)
+
+    def collect(self, prefix: str) -> Dict[str, float]:
+        """Every counter under ``prefix`` (path-component match)."""
+        dotted = prefix + "."
+        return {
+            path: value
+            for path, value in self.counters.items()
+            if path == prefix or path.startswith(dotted)
+        }
+
+    def total(self, prefix: str) -> float:
+        return sum(self.collect(prefix).values())
+
+    def leaf_totals(self, depth: int = -1) -> Dict[str, float]:
+        """Counters aggregated by the path with the first ``depth``
+        components dropped — e.g. ``depth=2`` folds ``sm0.shard1.cm.x``
+        and ``sm0.shard0.cm.x`` into ``cm.x``."""
+        out: Dict[str, float] = {}
+        for path, value in self.counters.items():
+            parts = path.split(".")
+            key = ".".join(parts[depth:]) if depth >= 0 else parts[-1]
+            out[key] = out.get(key, 0.0) + value
+        return out
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat path -> value snapshot of every counter and gauge."""
+        out = dict(self.counters)
+        out.update(self.gauges)
+        return out
+
+    def tree(self) -> Dict[str, object]:
+        """Counters as a nested dict keyed by path components."""
+        root: Dict[str, object] = {}
+        for path, value in sorted(self.counters.items()):
+            node = root
+            parts = path.split(".")
+            for part in parts[:-1]:
+                nxt = node.setdefault(part, {})
+                if not isinstance(nxt, dict):  # leaf/branch name collision
+                    nxt = node[part] = {"": nxt}
+                node = nxt
+            leaf = parts[-1]
+            if isinstance(node.get(leaf), dict):
+                node[leaf][""] = value  # type: ignore[index]
+            else:
+                node[leaf] = value
+        return root
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        for path, value in other.counters.items():
+            self.counters[path] = self.counters.get(path, 0.0) + value
+        self.gauges.update(other.gauges)
+        for path, hist in other.histograms.items():
+            mine = self.histograms.setdefault(path, {})
+            for value, n in hist.items():
+                mine[value] = mine.get(value, 0) + n
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self.counters)} counters, "
+            f"{len(self.gauges)} gauges, {len(self.histograms)} histograms)"
+        )

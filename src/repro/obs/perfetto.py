@@ -1,0 +1,141 @@
+"""Chrome-trace (Perfetto) export of simulator pipeline events.
+
+Converts a :class:`~repro.sim.trace.Tracer`'s event ring into the Chrome
+Trace Event JSON format (the ``traceEvents`` array form), which both
+``chrome://tracing`` and https://ui.perfetto.dev load directly:
+
+* one **process** per SM, one **thread** per warp (named tracks);
+* ``issue`` events become 1-cycle complete (``ph:"X"``) slices;
+* ``writeback`` events become instant (``ph:"i"``) events;
+* RegLess **region spans** (activate -> drain, recorded by the capacity
+  manager when a tracer is attached) become complete slices on the same
+  warp track under the ``region`` category.
+
+One simulated cycle maps to one microsecond of trace time (Perfetto's
+native unit), so the timeline reads in cycles.
+
+:func:`validate_chrome_trace` checks the minimal schema contract the CI
+job enforces on exported files.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["to_chrome_trace", "write_chrome_trace", "validate_chrome_trace"]
+
+#: JSON keys every trace event must carry.
+_REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def _meta(pid: int, tid: Optional[int], name: str, what: str) -> Dict:
+    event: Dict = {
+        "name": what,
+        "ph": "M",
+        "ts": 0,
+        "pid": pid,
+        "tid": tid if tid is not None else 0,
+        "args": {"name": name},
+    }
+    return event
+
+
+def to_chrome_trace(tracer) -> Dict[str, object]:
+    """Build a Chrome-trace dict from a Tracer's recorded events."""
+    events: List[Dict] = []
+    seen_pids: Dict[int, None] = {}
+    seen_tids: Dict[tuple, None] = {}
+
+    def track(sm: int, warp: int) -> None:
+        if sm not in seen_pids:
+            seen_pids[sm] = None
+            events.append(_meta(sm, None, f"SM{sm}", "process_name"))
+        if (sm, warp) not in seen_tids:
+            seen_tids[(sm, warp)] = None
+            events.append(_meta(sm, warp, f"warp {warp}", "thread_name"))
+
+    for ev in tracer.events:
+        track(ev.sm, ev.warp)
+        base = {
+            "ts": ev.cycle,
+            "pid": ev.sm,
+            "tid": ev.warp,
+            "args": {"pc": ev.pc, "shard": ev.shard},
+        }
+        if ev.kind == "issue":
+            events.append({
+                "name": ev.text, "ph": "X", "dur": 1, "cat": "issue", **base,
+            })
+        elif ev.kind == "writeback":
+            events.append({
+                "name": f"wb pc={ev.pc}", "ph": "i", "s": "t",
+                "cat": "writeback", **base,
+            })
+
+    for span in getattr(tracer, "region_spans", ()):
+        track(span.sm, span.warp)
+        events.append({
+            "name": f"region {span.rid}",
+            "ph": "X",
+            "ts": span.start,
+            "dur": max(1, span.end - span.start),
+            "pid": span.sm,
+            "tid": span.warp,
+            "cat": "region",
+            "args": {"rid": span.rid, "shard": span.shard,
+                     "preload_cycles": span.active - span.start,
+                     "drain_cycles": span.end - span.drain},
+        })
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs.perfetto",
+                      "time_unit": "1us == 1 simulated cycle"},
+    }
+
+
+def write_chrome_trace(path: str, tracer) -> str:
+    """Export, validate, and write a tracer's events; returns ``path``."""
+    trace = to_chrome_trace(tracer)
+    errors = validate_chrome_trace(trace)
+    if errors:
+        raise ValueError(f"invalid chrome trace: {errors[:3]}")
+    with open(path, "w") as fh:
+        json.dump(trace, fh)
+    return path
+
+
+def validate_chrome_trace(trace: object) -> List[str]:
+    """Schema errors in a chrome-trace object (empty list == valid).
+
+    Checks the minimal contract Perfetto's JSON importer needs: a
+    ``traceEvents`` list whose entries carry ``name``/``ph``/``ts``/
+    ``pid``/``tid``, numeric timestamps, a positive ``dur`` on complete
+    (``X``) events, and monotone-safe (non-negative) times.
+    """
+    errors: List[str] = []
+    if not isinstance(trace, dict):
+        return [f"trace must be a dict, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        for key in _REQUIRED_EVENT_KEYS:
+            if key not in ev:
+                errors.append(f"event {i}: missing {key!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"event {i}: bad ts {ts!r}")
+        if ev.get("ph") == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur <= 0:
+                errors.append(f"event {i}: X event needs positive dur")
+        if len(errors) >= 20:
+            errors.append("... (truncated)")
+            break
+    return errors

@@ -1,0 +1,159 @@
+"""Per-cycle stall attribution (the GPGPU-sim-style breakdown).
+
+Every simulated cycle, every warp of a shard is binned into **exactly
+one** reason: either it issued at least one instruction (``issued``) or
+the first condition that blocked it, checked in a fixed priority order:
+
+=================  ==========================================================
+``exited``         the warp has exited (or ran off the program end and will
+                   synthesize its exit at the next issue attempt)
+``barrier``        waiting at a CTA barrier
+``pipeline``       structural stall (``stall_until``: two-level promotion
+                   refill penalty)
+``mem_pending``    scoreboard-blocked on a source with an in-flight global
+                   load
+``scoreboard``     scoreboard-blocked on an ALU-latency dependence
+``occupancy``      the storage holds the warp's CTA non-resident
+                   (baseline/RFH register-pressure occupancy gating)
+``rfv_pressure``   RFV has no free physical register for the allocation
+``cm_inactive``    RegLess: the warp's region is not staged (INACTIVE or
+                   DRAINING in the capacity manager)
+``cm_preloading``  RegLess: region admitted, preloads still in flight
+``osu_port``       RegLess: preload head-of-line blocked at the L1 request
+                   port
+``mem_slot``       ready memory instruction, but the SM's one LDST issue
+                   slot per cycle is taken
+``demoted``        ready, but sitting in the two-level scheduler's pending
+                   pool
+``issue_width``    ready and eligible, but the scheduler's issue budget ran
+                   out (or greedy ordering never reached it)
+=================  ==========================================================
+
+The accounting is *conservative by construction*: per shard,
+``sum(bins) == warps x cycles`` — enforced by
+:func:`check_conservation` and asserted at the end of every run.
+
+Cycles elided by the simulator's fast-forward optimization are replayed
+from the immediately preceding dead cycle's bins (nothing can change
+during a skipped span by definition of fast-forward), so conservation
+holds over the *full* cycle count, not just the simulated cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = [
+    "ISSUED",
+    "STALL_REASONS",
+    "ShardStallTracker",
+    "check_conservation",
+    "merge_stalls",
+]
+
+ISSUED = "issued"
+
+#: Every stall bin, in classification priority order.
+STALL_REASONS = (
+    "exited",
+    "barrier",
+    "pipeline",
+    "mem_pending",
+    "scoreboard",
+    "occupancy",
+    "rfv_pressure",
+    "cm_inactive",
+    "cm_preloading",
+    "osu_port",
+    "mem_slot",
+    "demoted",
+    "issue_width",
+)
+
+
+class ShardStallTracker:
+    """Accumulates one shard's per-cycle stall bins.
+
+    ``bins`` maps reason -> warp-cycles.  ``occupancy`` maps reason ->
+    ``{n: cycles}``: the number of cycles during which exactly ``n`` of
+    the shard's warps were in that bin (the per-warp-state occupancy
+    histogram).
+    """
+
+    __slots__ = ("n_warps", "cycles", "bins", "occupancy", "_last")
+
+    def __init__(self, n_warps: int):
+        self.n_warps = n_warps
+        self.cycles = 0
+        self.bins: Dict[str, int] = {}
+        self.occupancy: Dict[str, Dict[int, int]] = {}
+        self._last: Optional[Dict[str, int]] = None
+
+    # -- per-cycle feed -------------------------------------------------------
+
+    def commit(self, cycle_bins: Dict[str, int]) -> None:
+        """Record one simulated cycle's classification."""
+        self.cycles += 1
+        bins = self.bins
+        occupancy = self.occupancy
+        for reason, count in cycle_bins.items():
+            bins[reason] = bins.get(reason, 0) + count
+            hist = occupancy.setdefault(reason, {})
+            hist[count] = hist.get(count, 0) + 1
+        self._last = cycle_bins
+
+    def replay(self, cycles: int) -> None:
+        """Account ``cycles`` fast-forwarded cycles as copies of the last
+        simulated (dead) cycle — no simulator state changes while the
+        event wheel spins over empty buckets, so the classification is
+        exact."""
+        if cycles <= 0:
+            return
+        last = self._last
+        if last is None:
+            # Defensive: fast-forward before any simulated cycle cannot
+            # happen (the dead-cycle test requires a committed cycle), but
+            # never silently drop warp-cycles if it somehow does.
+            last = {"issue_width": self.n_warps}
+        self.cycles += cycles
+        for reason, count in last.items():
+            self.bins[reason] = self.bins.get(reason, 0) + count * cycles
+            hist = self.occupancy.setdefault(reason, {})
+            hist[count] = hist.get(count, 0) + cycles
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        return sum(self.bins.values())
+
+    def report(self, sm: int, shard: int) -> Dict[str, object]:
+        """A plain-dict snapshot (pickles into cached results)."""
+        return {
+            "sm": sm,
+            "shard": shard,
+            "warps": self.n_warps,
+            "cycles": self.cycles,
+            "bins": dict(self.bins),
+            "occupancy": {r: dict(h) for r, h in self.occupancy.items()},
+        }
+
+
+def check_conservation(report: Dict[str, object]) -> None:
+    """Raise AssertionError unless ``sum(bins) == warps x cycles``."""
+    total = sum(report["bins"].values())  # type: ignore[union-attr]
+    expect = report["warps"] * report["cycles"]  # type: ignore[operator]
+    assert total == expect, (
+        f"stall attribution not conservative on sm{report['sm']}."
+        f"shard{report['shard']}: {total} attributed warp-cycles != "
+        f"{report['warps']} warps x {report['cycles']} cycles = {expect}"
+    )
+
+
+def merge_stalls(reports: List[Dict[str, object]]) -> Dict[str, int]:
+    """Aggregate per-shard reports into one reason -> warp-cycles map."""
+    merged: Dict[str, int] = {}
+    for report in reports:
+        for reason, count in report["bins"].items():  # type: ignore[union-attr]
+            merged[reason] = merged.get(reason, 0) + count
+    return merged

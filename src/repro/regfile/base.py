@@ -49,6 +49,19 @@ class OperandStorage:
         """May this warp issue the instruction at ``pc`` this cycle?"""
         return True
 
+    def stall_reason(self, warp: "Warp", pc: int,
+                     insn: Instruction) -> Optional[str]:
+        """Why :meth:`can_issue` would return False, as a stall bin from
+        :data:`repro.obs.stalls.STALL_REASONS` — or ``None`` when the
+        storage would not block the warp.
+
+        MUST be side-effect free: the stall-attribution pass calls it for
+        warps the issue loop never reached, so it must not perturb
+        emergency valves, counters, or any other issue-path state (which
+        ``can_issue`` is allowed to do).
+        """
+        return None
+
     def on_issue(self, warp: "Warp", pc: int, insn: Instruction) -> None:
         """Called right after an instruction issues (operand read time).
         ``warp.pc`` has already advanced past control resolution."""
@@ -106,6 +119,10 @@ class CTAOccupancyMixin:
 
     def is_resident(self, warp) -> bool:
         return warp.cta_id in self._resident_ctas
+
+    def stall_reason(self, warp, pc, insn) -> Optional[str]:
+        """Non-resident CTAs are occupancy-gated (pure; see base class)."""
+        return None if self.is_resident(warp) else "occupancy"
 
     def retire_warp(self, warp) -> None:
         """Called on warp exit; admits the next CTA when one drains."""

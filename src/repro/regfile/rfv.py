@@ -85,6 +85,14 @@ class RFVStorage(OperandStorage):
             return False
         return True
 
+    def stall_reason(self, warp: "Warp", pc: int, insn: Instruction):
+        """Pure preview of :meth:`can_issue` for stall attribution — no
+        emergency-valve bookkeeping, no counter increments."""
+        need = self._needed_allocations(warp, insn)
+        if self.allocated + need > self.capacity and not self._emergency:
+            return "rfv_pressure"
+        return None
+
     def on_issue(self, warp: "Warp", pc: int, insn: Instruction) -> None:
         self._blocked_since = -1
         wid = warp.wid

@@ -55,15 +55,27 @@ class ReglessStorage(OperandStorage):
             n_regs=max(1, self.compiled.kernel.num_regs),
             line_bytes=cfg.line_bytes,
         )
+        # Components emit into hierarchical metric scopes
+        # (``sm0.shard1.cm`` and friends); the registry mirrors every
+        # increment into the flat legacy counters under the old names.
+        metrics = getattr(sm.gpu, "metrics", None)
+
+        def sink(component: str):
+            if metrics is None:  # standalone construction in unit tests
+                return sm.counters
+            return metrics.scope(
+                f"sm{sm.sm_id}.shard{shard.shard_id}.{component}"
+            )
+
         compressor = Compressor(
-            sm.counters,
+            sink("compressor"),
             mapping,
             cache_lines=self.rcfg.compressor_cache_lines,
             enabled=self.rcfg.compressor_enabled,
         )
         self.osu = OperandStagingUnit(
             self.rcfg,
-            sm.counters,
+            sink("osu"),
             sm.wheel,
             sm.l1,
             compressor,
@@ -72,7 +84,7 @@ class ReglessStorage(OperandStorage):
             on_preload_done=self._on_preload_done,
         )
         self.cm = CapacityManager(
-            self.rcfg, self.compiled, sm.counters, self.osu, shard.warps
+            self.rcfg, self.compiled, sink("cm"), self.osu, shard.warps
         )
 
     def _value_of(self, warp_id: int, reg: int) -> LaneValues:
@@ -90,6 +102,26 @@ class ReglessStorage(OperandStorage):
     def can_issue(self, warp: Warp, pc: int, insn: Instruction) -> bool:
         assert self.cm is not None
         return self.cm.can_issue(warp, pc)
+
+    def stall_reason(self, warp: Warp, pc: int,
+                     insn: Instruction) -> Optional[str]:
+        """Pure classification of a CM-blocked warp (stall attribution):
+        region not staged, preloads in flight, or preload head-of-line
+        blocked at the L1 request port."""
+        assert self.cm is not None and self.osu is not None
+        state = self.cm.state_of(warp.wid)
+        if state is WarpState.ACTIVE:
+            region = self.cm.active_region(warp.wid)
+            if region is not None and region.contains_pc(pc):
+                return None
+            return "cm_inactive"
+        if state is WarpState.PRELOADING:
+            if self.osu.preload_blocked_at_l1(warp.wid):
+                return "osu_port"
+            return "cm_preloading"
+        # INACTIVE, DRAINING, or FINISHED-but-not-yet-exited: the warp
+        # waits for (re)admission either way.
+        return "cm_inactive"
 
     def metadata_slots(self, warp: Warp, pc: int) -> int:
         assert self.cm is not None

@@ -49,6 +49,10 @@ class _WarpCtx:
     preloads_left: int = 0
     metadata_pending: int = 0
     activated_at: int = 0
+    #: cycle the region became ACTIVE (preloads done) / began draining —
+    #: for region-span tracing (repro.obs.perfetto).
+    active_at: int = 0
+    drain_at: int = 0
     last_issue_done: bool = False
     #: cycle at which the warp last became INACTIVE (for aging).
     inactive_since: int = 0
@@ -79,6 +83,9 @@ class CapacityManager:
         # Dynamic region statistics (Table 2).
         self.region_executions = 0
         self.region_cycles_total = 0
+        #: optional region-lifecycle subscriber, set by a Tracer:
+        #: ``region_trace(wid, rid, start, active, drain, end)``.
+        self.region_trace = None
 
     # -- queries used by the storage backend -------------------------------------
 
@@ -131,7 +138,13 @@ class CapacityManager:
         # actually execute.
         warp.maybe_reconverge()
         if warp.pc >= self.compiled.kernel.num_instructions:
-            return  # ran off the end; exit will be synthesized at issue
+            # Ran off the end: there is no region left to stage, and the
+            # shard synthesizes the EXIT without CM admission.  Leaving the
+            # warp on the stack would pin the activation candidate slot
+            # (the top is re-picked every cycle) — drop it instead.
+            self._drop_from_stack(wid)
+            self.counters.inc("cm_dead_warp_drop")
+            return
 
         region = self.compiled.region_of_pc(warp.pc)
         rotated = self.osu.rotate_usage(region.bank_usage, wid)
@@ -161,6 +174,8 @@ class CapacityManager:
         ctx.region = region
         ctx.reserved = rotated
         ctx.activated_at = now
+        ctx.active_at = now
+        ctx.drain_at = now
         ctx.last_issue_done = False
         ann = self.compiled.annotations[region.rid]
         ctx.metadata_pending = ann.n_metadata_insns
@@ -200,6 +215,9 @@ class CapacityManager:
     def _activate(self, wid: int) -> None:
         ctx = self.ctx[wid]
         ctx.state = WarpState.ACTIVE
+        wheel = getattr(self.osu, "wheel", None)
+        if wheel is not None:
+            ctx.active_at = wheel.now
         self.counters.inc("region_activations")
 
     # -- OSU / shard callbacks ------------------------------------------------------------
@@ -222,6 +240,7 @@ class CapacityManager:
         ctx = self.ctx[warp.wid]
         ctx.last_issue_done = True
         ctx.state = WarpState.DRAINING
+        ctx.drain_at = now
         if warp.inflight == 0:
             self._finish_region(warp, now)
             return
@@ -233,7 +252,9 @@ class CapacityManager:
         banks = self.config.banks_per_shard
         kept = [0] * banks
         for reg_index in warp.pending_regs:
-            kept[(warp.wid + reg_index) % banks] += 1
+            # The OSU owns the register→bank mapping; re-deriving it here
+            # silently diverges if the hash ever changes.
+            kept[self.osu.bank_of(warp.wid, reg_index)] += 1
         for b in range(banks):
             kept[b] = min(kept[b], ctx.reserved[b])
             self.reserved[b] -= ctx.reserved[b] - kept[b]
@@ -251,6 +272,13 @@ class CapacityManager:
                 self.reserved[b] -= need
         self.region_executions += 1
         self.region_cycles_total += max(0, now - ctx.activated_at)
+        if self.region_trace is not None and ctx.region is not None:
+            # A warp killed mid-region (on_warp_exit) never drained.
+            drain = ctx.drain_at if ctx.last_issue_done else now
+            self.region_trace(
+                warp.wid, ctx.region.rid,
+                ctx.activated_at, ctx.active_at, drain, now,
+            )
         ctx.region = None
         ctx.reserved = None
         if warp.exited:

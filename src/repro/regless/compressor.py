@@ -26,9 +26,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional, Set, Tuple
 
-from ..energy.accounting import Counters
 from ..sim.values import LaneValues
-from .mapping import RegisterMapping
+from .mapping import REGS_PER_COMPRESSED_LINE, RegisterMapping
 
 __all__ = ["Compressor", "match_pattern", "COMPRESS_PATTERNS"]
 
@@ -58,7 +57,7 @@ class Compressor:
 
     def __init__(
         self,
-        counters: Counters,
+        counters,  # Counters or a repro.obs.metrics.MetricScope
         mapping: RegisterMapping,
         cache_lines: int = 12,
         enabled: bool = True,
@@ -140,6 +139,7 @@ class Compressor:
         slot = self.mapping.slot(reg_index, warp_id)
         if pattern is None:
             self._bitvec.discard(slot)
+            self._reconcile_line(slot)
             return False, None
         self.counters.inc("compressor_store")
         self.counters.inc(f"compress_{pattern}")
@@ -163,10 +163,29 @@ class Compressor:
 
     # -- invalidation -------------------------------------------------------------------
 
+    def _reconcile_line(self, slot: int) -> None:
+        """Drop the cached compressed line once no live bit-vector slot maps
+        to it.  Without this, a register that re-evicts *uncompressed* leaves
+        its old compressed copy in the cache; when it later re-evicts
+        compressed, ``_insert`` merges into the stale line and its dirty
+        write-back resurrects dead neighbours in L1."""
+        line = slot // REGS_PER_COMPRESSED_LINE
+        addr = self.mapping.compressed_base + line * self.mapping.line_bytes
+        if addr not in self._cache:
+            return
+        lo = line * REGS_PER_COMPRESSED_LINE
+        if any(s in self._bitvec
+               for s in range(lo, lo + REGS_PER_COMPRESSED_LINE)):
+            return  # other registers still live on this line
+        del self._cache[addr]
+        self.counters.inc("compressor_line_reclaim")
+
     def invalidate(self, reg_index: int, warp_id: int) -> None:
-        """Drop a dead register from the bit vector (cache lines keep other
-        registers, so they stay)."""
-        self._bitvec.discard(self.mapping.slot(reg_index, warp_id))
+        """Drop a dead register from the bit vector (cache lines stay while
+        any sibling register on them is still compressed)."""
+        slot = self.mapping.slot(reg_index, warp_id)
+        self._bitvec.discard(slot)
+        self._reconcile_line(slot)
 
     @property
     def compressed_count(self) -> int:

@@ -277,6 +277,18 @@ class OperandStagingUnit:
     def enqueue_invalidate(self, warp_id: int, reg: int) -> None:
         self._inval_q.append((warp_id, reg))
 
+    def preload_blocked_at_l1(self, warp_id: int) -> bool:
+        """Is one of this warp's preloads at the head of a bank queue,
+        stuck in the ``l1`` stage (waiting for the shared L1 request
+        port)?  Pure — used by stall attribution to split ``osu_port``
+        from plain ``cm_preloading``."""
+        for queue in self._preload_q:
+            if queue:
+                job = queue[0]
+                if job.warp_id == warp_id and job.stage == "l1":
+                    return True
+        return False
+
     # -- per-cycle pump -----------------------------------------------------------------
 
     def cycle(self) -> None:

@@ -15,7 +15,7 @@ from .oracle import (
     Oracle,
     PredBehavior,
 )
-from .trace import TraceEvent, Tracer
+from .trace import RegionSpan, TraceEvent, Tracer
 from .scheduler import (
     GTOScheduler,
     LRRScheduler,
@@ -55,6 +55,7 @@ __all__ = [
     "mix_hash",
     "StackEntry",
     "Warp",
+    "RegionSpan",
     "TraceEvent",
     "Tracer",
 ]

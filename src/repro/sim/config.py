@@ -49,6 +49,10 @@ class GPUConfig:
 
     # -- simulation control ---------------------------------------------------------
     max_cycles: int = 400_000
+    #: per-cycle stall attribution (repro.obs.stalls): bin every non-issued
+    #: warp-cycle into one reason.  Costs a few percent of simulation time;
+    #: disable for raw-throughput sweeps.
+    stall_attribution: bool = True
     #: skip dead cycles straight to the next event (results are identical;
     #: disable only to measure the optimization itself).
     fast_forward: bool = True

@@ -17,6 +17,8 @@ from typing import TYPE_CHECKING
 from ..compiler.pipeline import CompiledKernel
 from ..energy.accounting import Counters
 from ..mem.hierarchy import MemoryHierarchy
+from ..obs.metrics import MetricsRegistry
+from ..obs.stalls import check_conservation, merge_stalls
 from .config import GPUConfig
 from .events import EventWheel
 from .sm import SM
@@ -46,6 +48,15 @@ class SimStats:
     working_set_samples: List[int] = field(default_factory=list)
     #: per-window deltas of selected counters (Figure 3 time series).
     window_series: Dict[str, List[float]] = field(default_factory=dict)
+    #: stall attribution, reason -> warp-cycles, summed over all shards
+    #: (includes ``issued``; conserves ``warps x cycles``).
+    stalls: Dict[str, int] = field(default_factory=dict)
+    #: per-shard stall reports: ``{"sm", "shard", "warps", "cycles",
+    #: "bins", "occupancy"}`` (see :mod:`repro.obs.stalls`).
+    stall_shards: List[Dict[str, object]] = field(default_factory=list)
+    #: hierarchical metrics snapshot (``sm0.shard1.cm.region_activations``
+    #: style paths; see :mod:`repro.obs.metrics`).
+    metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ipc(self) -> float:
@@ -78,6 +89,9 @@ class GPU:
         self.oracle = workload.oracle()
         self.divergent_lines = workload.divergent_lines
         self.counters = Counters()
+        #: hierarchical metrics registry; component scopes mirror every
+        #: increment into the flat legacy ``counters`` (repro.obs.metrics).
+        self.metrics = MetricsRegistry(self.counters)
         self.wheel = EventWheel()
         self.hierarchy = MemoryHierarchy(config, self.counters, self.wheel)
         self.working_set: Set[Tuple[int, int]] = set()
@@ -162,10 +176,19 @@ class GPU:
                     # Fast-forward straight to the next scheduled event.
                     idle_cycles = 0
                     skip_to = min(nxt - 1, max_cycles)
+                    skipped = 0
                     while wheel.now < skip_to:
                         wheel.tick()  # empty buckets: O(1)
+                        skipped += 1
                         if wheel.now >= next_window:
                             sample_window()
+                    if skipped:
+                        # Skipped cycles replay the dead cycle's stall
+                        # bins (no state changes while the wheel spins
+                        # over empty buckets), keeping the attribution
+                        # conservative over the full cycle count.
+                        for sm in sms:
+                            sm.account_skipped(skipped)
             elif wheel.pending_events == 0:
                 idle_cycles += 1
                 if idle_cycles > 10_000:
@@ -177,6 +200,7 @@ class GPU:
             for shard in sm.shards:
                 shard.storage.finalize()
 
+        stall_reports, stalls = self._collect_stalls(wheel.now)
         warps_done = sum(sm.warps_done for sm in self.sms)
         warps_total = sum(len(sm.warps) for sm in self.sms)
         return SimStats(
@@ -188,7 +212,33 @@ class GPU:
             finished=all(sm.done for sm in self.sms),
             working_set_samples=ws_samples,
             window_series=series,
+            stalls=stalls,
+            stall_shards=stall_reports,
+            metrics=self.metrics.as_dict(),
         )
+
+    def _collect_stalls(self, cycles: int):
+        """Gather per-shard stall reports; every one must be conservative
+        (attributed warp-cycles == warps x cycles)."""
+        reports = []
+        for sm in self.sms:
+            for shard in sm.shards:
+                tracker = shard.stalls
+                if tracker is None:
+                    continue
+                report = tracker.report(sm.sm_id, shard.shard_id)
+                check_conservation(report)
+                assert report["cycles"] == cycles, (
+                    f"shard {sm.sm_id}.{shard.shard_id} accounted "
+                    f"{report['cycles']} cycles, simulation ran {cycles}"
+                )
+                reports.append(report)
+                scope = self.metrics.scope(
+                    f"sm{sm.sm_id}.shard{shard.shard_id}.stall"
+                )
+                for reason, count in report["bins"].items():
+                    self.metrics.inc(f"{scope.path}.{reason}", count)
+        return reports, merge_stalls(reports)
 
     def _work_outstanding(self) -> bool:
         return (

@@ -30,6 +30,16 @@ class WarpScheduler:
     def notify_long_stall(self, warp: Warp) -> None:
         """A warp blocked on a long-latency (memory) operation."""
 
+    def eligible(self, warp: Warp) -> bool:
+        """Is the warp in the scheduler's selectable set this cycle?
+
+        Single-level schedulers consider every warp; the two-level
+        scheduler only its active pool.  Stall attribution uses this to
+        split ``demoted`` (ready but parked in the pending pool) from
+        ``issue_width`` (ready and selectable, but the budget ran out).
+        """
+        return True
+
 
 class GTOScheduler(WarpScheduler):
     """Greedy-then-oldest: keep issuing from the last warp until it stalls,
@@ -123,6 +133,9 @@ class TwoLevelScheduler(WarpScheduler):
             self._active.remove(warp)
             self._pending.append(warp)
             self._refill()
+
+    def eligible(self, warp: Warp) -> bool:
+        return warp in self._active
 
     @property
     def active_pool(self) -> List[Warp]:

@@ -8,10 +8,11 @@ and issues up to ``issue_width`` ready instructions.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Set
 
 from ..isa.instructions import Instruction
 from ..isa.opcodes import FuncUnit, Opcode
+from ..obs.stalls import ISSUED, ShardStallTracker
 from ..regfile.base import OperandStorage
 from .executor import compute_result, read_operand
 from .oracle import FULL_MASK
@@ -40,6 +41,12 @@ class Shard:
         self.warps = warps
         self.scheduler = scheduler
         self.storage = storage
+        self.stalls = (
+            ShardStallTracker(len(warps))
+            if sm.config.stall_attribution
+            else None
+        )
+        self._issued_wids: Set[int] = set()
         storage.attach(self)
 
     # -- per-cycle issue loop ---------------------------------------------------
@@ -53,6 +60,8 @@ class Shard:
         budget = sm.config.issue_width
         issued = 0
         now = sm.wheel.now
+        issued_wids = self._issued_wids
+        issued_wids.clear()
         for warp in scheduler.order(now):
             if budget <= 0:
                 break
@@ -60,13 +69,72 @@ class Shard:
                 continue
             budget -= 1
             issued += 1
+            issued_wids.add(warp.wid)
             scheduler.notify_issue(warp, now)
             # GTX 980 schedulers dual-issue a second, independent
             # instruction from the same warp.
             if budget > 0 and try_issue(warp, now):
                 budget -= 1
                 issued += 1
+        if self.stalls is not None:
+            self._account_stalls(now, issued_wids)
         return issued
+
+    # -- stall attribution ------------------------------------------------------
+
+    @staticmethod
+    def _effective_pc(warp: Warp) -> int:
+        """The pc the warp would execute from, resolving pending
+        reconvergence pops *without* mutating the SIMT stack (this is an
+        observability pass; state changes belong to the issue path)."""
+        stack = warp.stack
+        i = len(stack) - 1
+        while i > 0 and stack[i].pc == stack[i].reconv_pc:
+            i -= 1
+        return stack[i].pc
+
+    def _classify(self, warp: Warp, now: int) -> str:
+        """The one stall bin for a warp that did not issue this cycle.
+
+        Must be side-effect free: in particular it must NOT call
+        ``storage.can_issue`` (RFV's version mutates emergency-valve
+        state) — backends expose the pure ``stall_reason`` hook instead.
+        """
+        if warp.exited:
+            return "exited"
+        if warp.at_barrier:
+            return "barrier"
+        if now < warp.stall_until:
+            return "pipeline"
+        pc = self._effective_pc(warp)
+        if pc >= self.sm.program_len:
+            # Ran off the end; the exit is synthesized at the next issue
+            # attempt, so the warp is as good as gone.
+            return "exited"
+        insn = self.sm.program[pc]
+        if not warp.scoreboard_ready(insn):
+            if self._blocked_on_memory(warp, insn):
+                return "mem_pending"
+            return "scoreboard"
+        reason = self.storage.stall_reason(warp, pc, insn)
+        if reason is not None:
+            return reason
+        if insn.opcode.info.unit is FuncUnit.MEM and self.sm.mem_slot_busy:
+            return "mem_slot"
+        if not self.scheduler.eligible(warp):
+            return "demoted"
+        return "issue_width"
+
+    def _account_stalls(self, now: int, issued_wids: Set[int]) -> None:
+        bins: dict = {}
+        classify = self._classify
+        for warp in self.warps:
+            if warp.wid in issued_wids:
+                reason = ISSUED
+            else:
+                reason = classify(warp, now)
+            bins[reason] = bins.get(reason, 0) + 1
+        self.stalls.commit(bins)
 
     def _try_issue(self, warp: Warp, now: int) -> bool:
         if not warp.runnable or now < warp.stall_until:

@@ -61,7 +61,10 @@ class SM:
 
         # Warps / shards --------------------------------------------------------
         cfg = self.config
-        self.l1 = L1RegCache(sm_id, cfg, self.counters, self.wheel, self.hierarchy)
+        self.l1 = L1RegCache(
+            sm_id, cfg, gpu.metrics.scope(f"sm{sm_id}.l1"), self.wheel,
+            self.hierarchy,
+        )
         self.warps: List[Warp] = []
         self.shards: List[Shard] = []
         per_shard = cfg.warps_per_scheduler
@@ -111,6 +114,10 @@ class SM:
         self._mem_slot_used += 1
         return True
 
+    @property
+    def mem_slot_busy(self) -> bool:
+        return self._mem_slot_used >= 1
+
     # -- barriers -------------------------------------------------------------------------
 
     def barrier_arrive(self, warp: Warp) -> None:
@@ -147,6 +154,13 @@ class SM:
         for shard in self.shards:
             issued += shard.cycle()
         return issued
+
+    def account_skipped(self, cycles: int) -> None:
+        """Attribute ``cycles`` fast-forwarded cycles to each shard's
+        stall bins (replaying the dead cycle that triggered the skip)."""
+        for shard in self.shards:
+            if shard.stalls is not None:
+                shard.stalls.replay(cycles)
 
     @property
     def done(self) -> bool:

@@ -20,7 +20,7 @@ from typing import Deque, Iterable, List, Optional
 
 from ..isa.instructions import Instruction
 
-__all__ = ["TraceEvent", "Tracer"]
+__all__ = ["TraceEvent", "RegionSpan", "Tracer"]
 
 
 @dataclass(frozen=True)
@@ -42,24 +42,69 @@ class TraceEvent:
         )
 
 
+@dataclass(frozen=True)
+class RegionSpan:
+    """One RegLess region execution: admission to drain completion.
+
+    ``start`` is when the capacity manager reserved the region
+    (PRELOADING began), ``active`` when the last preload landed,
+    ``drain`` when the last instruction issued, ``end`` when the last
+    write-back finished and the reservation was released.
+    """
+
+    sm: int
+    shard: int
+    warp: int
+    rid: int
+    start: int
+    active: int
+    drain: int
+    end: int
+
+    def render(self) -> str:
+        return (
+            f"cycle {self.start:>6} | SM{self.sm} S{self.shard} "
+            f"w{self.warp:02d} region {self.rid:<3} "
+            f"preload {self.active - self.start} "
+            f"active {max(0, self.drain - self.active)} "
+            f"drain {self.end - self.drain}"
+        )
+
+
 class Tracer:
     """Bounded event recorder wired into a GPU's shards."""
 
     def __init__(self, capacity: int = 10_000):
         self.capacity = capacity
         self.events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.region_spans: Deque[RegionSpan] = deque(maxlen=capacity)
         self._attached = False
 
     # -- wiring ----------------------------------------------------------------
 
     def attach(self, gpu) -> None:
-        """Wrap every shard's issue/writeback with recording hooks."""
+        """Wrap every shard's issue/writeback with recording hooks, and
+        subscribe to capacity-manager region lifecycles where the shard's
+        storage has one (RegLess backends)."""
         if self._attached:
             raise RuntimeError("tracer already attached")
         self._attached = True
         for sm in gpu.sms:
             for shard in sm.shards:
                 self._wrap_shard(gpu, sm, shard)
+                cm = getattr(shard.storage, "cm", None)
+                if cm is not None:
+                    cm.region_trace = self._region_hook(sm.sm_id,
+                                                        shard.shard_id)
+
+    def _region_hook(self, sm_id: int, shard_id: int):
+        def hook(wid: int, rid: int, start: int, active: int,
+                 drain: int, end: int) -> None:
+            self.region_spans.append(RegionSpan(
+                sm=sm_id, shard=shard_id, warp=wid, rid=rid,
+                start=start, active=active, drain=drain, end=end,
+            ))
+        return hook
 
     def _wrap_shard(self, gpu, sm, shard) -> None:
         orig_issue = shard.issue

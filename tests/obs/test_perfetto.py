@@ -1,0 +1,130 @@
+"""Chrome-trace export: schema validity and event content."""
+
+import json
+
+import pytest
+
+from repro.compiler import compile_kernel
+from repro.obs.perfetto import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.regfile import BaselineRF
+from repro.regless import ReglessStorage
+from repro.sim import GPUConfig
+from repro.sim.gpu import GPU
+from repro.sim.trace import Tracer
+
+FAST = GPUConfig(warps_per_sm=8, schedulers_per_sm=2, cta_size_warps=4,
+                 max_cycles=60_000)
+
+
+def _traced_run(workload, factory_of):
+    compiled = compile_kernel(workload.kernel())
+    gpu = GPU(FAST, compiled, workload, factory_of(compiled))
+    tracer = Tracer()
+    tracer.attach(gpu)
+    stats = gpu.run()
+    assert stats.finished
+    return tracer
+
+
+class TestExport:
+    def test_baseline_trace_is_valid(self, loop_workload):
+        tracer = _traced_run(
+            loop_workload, lambda ck: (lambda sm, sh: BaselineRF())
+        )
+        trace = to_chrome_trace(tracer)
+        assert validate_chrome_trace(trace) == []
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert {"M", "X"} <= phases  # metadata + issue slices
+
+    def test_regless_trace_carries_region_spans(self, loop_workload):
+        tracer = _traced_run(
+            loop_workload, lambda ck: (lambda sm, sh: ReglessStorage(ck))
+        )
+        assert len(tracer.region_spans) > 0
+        trace = to_chrome_trace(tracer)
+        assert validate_chrome_trace(trace) == []
+        regions = [e for e in trace["traceEvents"]
+                   if e.get("cat") == "region"]
+        assert regions
+        for ev in regions:
+            assert ev["ph"] == "X" and ev["dur"] >= 1
+            assert ev["args"]["preload_cycles"] >= 0
+            assert ev["args"]["drain_cycles"] >= 0
+
+    def test_every_event_track_is_named(self, loop_workload):
+        tracer = _traced_run(
+            loop_workload, lambda ck: (lambda sm, sh: BaselineRF())
+        )
+        trace = to_chrome_trace(tracer)
+        named = {
+            (e["pid"], e["tid"])
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        used = {
+            (e["pid"], e["tid"])
+            for e in trace["traceEvents"] if e["ph"] != "M"
+        }
+        assert used <= named
+
+    def test_write_round_trips_through_json(self, tmp_path, loop_workload):
+        tracer = _traced_run(
+            loop_workload, lambda ck: (lambda sm, sh: ReglessStorage(ck))
+        )
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), tracer)
+        loaded = json.loads(path.read_text())
+        assert validate_chrome_trace(loaded) == []
+        assert loaded["traceEvents"]
+
+
+class TestValidator:
+    def test_accepts_minimal_event(self):
+        trace = {"traceEvents": [
+            {"name": "a", "ph": "i", "ts": 0, "pid": 0, "tid": 0},
+        ]}
+        assert validate_chrome_trace(trace) == []
+
+    def test_rejects_non_dict(self):
+        assert validate_chrome_trace([1, 2]) != []
+
+    def test_rejects_missing_trace_events(self):
+        assert validate_chrome_trace({"other": 1}) != []
+
+    def test_rejects_missing_keys(self):
+        trace = {"traceEvents": [{"name": "a", "ph": "i"}]}
+        errors = validate_chrome_trace(trace)
+        assert any("missing" in e for e in errors)
+
+    def test_rejects_negative_ts(self):
+        trace = {"traceEvents": [
+            {"name": "a", "ph": "i", "ts": -1, "pid": 0, "tid": 0},
+        ]}
+        assert any("bad ts" in e for e in validate_chrome_trace(trace))
+
+    def test_rejects_complete_event_without_duration(self):
+        trace = {"traceEvents": [
+            {"name": "a", "ph": "X", "ts": 0, "pid": 0, "tid": 0},
+        ]}
+        assert any("dur" in e for e in validate_chrome_trace(trace))
+
+    def test_error_list_truncates(self):
+        trace = {"traceEvents": [{} for _ in range(50)]}
+        errors = validate_chrome_trace(trace)
+        assert errors[-1].startswith("...")
+
+    def test_write_refuses_invalid(self, tmp_path):
+        class FakeTracer:
+            events = ()
+            region_spans = (
+                type("S", (), {"sm": 0, "shard": 0, "warp": 0, "rid": 0,
+                               "start": -5, "active": -5, "drain": -5,
+                               "end": -4})(),
+            )
+
+        with pytest.raises(ValueError):
+            write_chrome_trace(str(tmp_path / "bad.json"), FakeTracer())

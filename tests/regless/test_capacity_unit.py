@@ -22,6 +22,9 @@ class StubOSU:
         self.preloads = []
         self.invalidates = []
 
+    def bank_of(self, warp_id, reg):
+        return (warp_id + reg) % len(self.banks)
+
     def rotate_usage(self, usage, warp_id):
         n = len(self.banks)
         rotated = [0] * n
@@ -174,6 +177,76 @@ class TestAgingAndExit:
         cm.on_warp_exit(warp, now=7)
         assert cm.state_of(warp.wid) is WarpState.FINISHED
         assert sum(cm.reserved) == 0
+
+
+class TestDeadWarpDrop:
+    def test_runoff_warp_dropped_from_stack(self, rig, compiled_loop):
+        # Regression: a warp whose pc ran past the program end used to stay
+        # on the stack, pinning the activation candidate slot forever.
+        cm, osu, warps, counters = rig
+        top = cm.stack[-1]
+        warps[top].top.pc = compiled_loop.kernel.num_instructions
+        cm.cycle(now=1)
+        assert top not in cm.stack
+        assert sum(cm.reserved) == 0
+        assert counters.get("cm_dead_warp_drop") == 1
+
+    def test_drop_unblocks_the_warp_below(self, rig, compiled_loop):
+        cm, osu, warps, _ = rig
+        top = cm.stack[-1]
+        warps[top].top.pc = compiled_loop.kernel.num_instructions
+        cm.cycle(now=1)  # drops the dead warp, admits nothing
+        cm.cycle(now=2)  # the next candidate admits normally
+        states = [cm.state_of(w.wid) for w in warps]
+        assert WarpState.PRELOADING in states or WarpState.ACTIVE in states
+
+
+class TestBankRouting:
+    def admit_and_activate(self, cm, osu, warps):
+        cm.cycle(now=1)
+        for wid, reg, inval in list(osu.preloads):
+            cm.on_preload_done(wid, "osu")
+        return next(w for w in warps
+                    if cm.state_of(w.wid) is WarpState.ACTIVE)
+
+    def test_release_keeps_the_pending_regs_bank(self, rig):
+        cm, osu, warps, _ = rig
+        warp = self.admit_and_activate(cm, osu, warps)
+        ctx = cm.ctx[warp.wid]
+        reg = next(
+            r for r in range(64)
+            if ctx.reserved[osu.bank_of(warp.wid, r)] > 0
+        )
+        bank = osu.bank_of(warp.wid, reg)
+        warp.inflight = 1
+        warp.pending_regs = {reg: 1}
+        cm.on_last_issue(warp, now=5)
+        assert cm.reserved[bank] == 1
+        assert sum(cm.reserved) == 1
+        warp.inflight = 0
+        cm.on_writeback(warp, now=9)
+        assert cm.reserved == [0] * len(cm.reserved)
+
+    def test_release_routes_through_osu_mapping(self, rig):
+        # Regression: the CM used to re-derive the bank locally as
+        # ``(wid + reg) % banks``; with an OSU whose mapping disagrees,
+        # the kept entry must land in the OSU's bank, not the re-derived
+        # one.
+        cm, osu, warps, _ = rig
+        banks = len(osu.banks)
+        osu.bank_of = lambda wid, reg: (wid + reg + 1) % banks
+        warp = self.admit_and_activate(cm, osu, warps)
+        ctx = cm.ctx[warp.wid]
+        reg = next(
+            r for r in range(64)
+            if ctx.reserved[osu.bank_of(warp.wid, r)] > 0
+        )
+        osu_bank = osu.bank_of(warp.wid, reg)
+        warp.inflight = 1
+        warp.pending_regs = {reg: 1}
+        cm.on_last_issue(warp, now=5)
+        assert cm.reserved[osu_bank] == 1
+        assert sum(cm.reserved) == 1
 
 
 class TestMetadata:

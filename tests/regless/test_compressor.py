@@ -90,6 +90,51 @@ class TestPreloadPath:
         assert c.fetch(3, 2) == "compressor"
 
 
+class TestCacheReconciliation:
+    def test_uncompressed_reevict_reclaims_stale_line(self):
+        c, counters, _ = make()
+        c.try_compress(2, 1, LaneValues.uniform(3))
+        assert c.cache_has_line(2, 1)
+        ok, _ = c.try_compress(2, 1, LaneValues.random(9))
+        assert not ok
+        assert not c.cache_has_line(2, 1)
+        assert counters.get("compressor_line_reclaim") == 1
+
+    def test_compress_uncompress_compress_roundtrip(self):
+        # Regression: the stale line used to survive the uncompressed
+        # re-evict, so the third evict merged into a cache line whose
+        # memory copy was actually uncompressed.
+        c, _, _ = make()
+        c.try_compress(2, 1, LaneValues.uniform(3))
+        c.try_compress(2, 1, LaneValues.random(9))
+        ok, victim = c.try_compress(2, 1, LaneValues.uniform(4))
+        assert ok and victim is None
+        assert c.is_compressed(2, 1)
+        assert c.cache_has_line(2, 1)
+        c.begin_cycle()
+        assert c.fetch(2, 1) == "compressor"
+
+    def test_line_with_live_sibling_survives(self):
+        c, counters, _ = make()
+        # (reg 0, warp 0) and (reg 0, warp 1) are slots 0 and 1: the same
+        # compressed line.
+        c.try_compress(0, 0, LaneValues.uniform(1))
+        c.try_compress(0, 1, LaneValues.uniform(2))
+        c.try_compress(0, 0, LaneValues.random(5))
+        assert c.cache_has_line(0, 1)
+        assert counters.get("compressor_line_reclaim") == 0
+
+    def test_invalidating_the_last_register_reclaims_the_line(self):
+        c, counters, _ = make()
+        c.try_compress(0, 0, LaneValues.uniform(1))
+        c.try_compress(0, 1, LaneValues.uniform(2))
+        c.invalidate(0, 0)
+        assert c.cache_has_line(0, 1)
+        c.invalidate(0, 1)
+        assert not c.cache_has_line(0, 1)
+        assert counters.get("compressor_line_reclaim") == 1
+
+
 class TestInvalidate:
     def test_invalidate_clears_bit(self):
         c, _, _ = make()

@@ -35,7 +35,12 @@ PUBLIC_API = {
         "DivergentLoopExit", "BernoulliLanes", "BernoulliWarp",
         "AlwaysTaken", "NeverTaken", "LoadBehavior", "FULL_MASK",
         "GTOScheduler", "LRRScheduler", "TwoLevelScheduler",
-        "make_scheduler", "Tracer", "TraceEvent",
+        "make_scheduler", "Tracer", "TraceEvent", "RegionSpan",
+    ],
+    "repro.obs": [
+        "MetricsRegistry", "MetricScope", "ShardStallTracker", "ISSUED",
+        "STALL_REASONS", "check_conservation", "merge_stalls",
+        "to_chrome_trace", "validate_chrome_trace", "write_chrome_trace",
     ],
     "repro.mem": [
         "SetAssocCache", "MSHRFile", "Eviction", "MemoryHierarchy",

@@ -7,7 +7,8 @@ import pytest
 
 DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md",
         "docs/architecture.md", "docs/compiler.md", "docs/hardware.md",
-        "docs/simulator.md", "docs/workloads.md", "examples/README.md"]
+        "docs/observability.md", "docs/simulator.md", "docs/workloads.md",
+        "examples/README.md"]
 
 
 @pytest.mark.parametrize("doc", DOCS)
