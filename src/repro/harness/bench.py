@@ -9,13 +9,20 @@ Times the full (benchmark x backend) grid three ways —
 verifies that the serial and parallel grids produce identical ``cycles``
 and counter values per run, and reports per-phase (compile / simulate /
 energy) timing aggregates collected in :attr:`RunResult.timings`.
+
+``--json PATH`` additionally writes the machine-readable measurement
+(per-run wall-clock, simulated cycles, cycles/sec; see
+``docs/performance.md``) — the format committed as ``BENCH_*.json``
+snapshots and consumed by the CI perf-smoke step.
 """
 
 from __future__ import annotations
 
+import json
+import platform
 import tempfile
 import time
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..workloads import workload_names
 from .cache import ResultCache
@@ -34,9 +41,17 @@ def run_bench(
     backends: Sequence[str] = BACKENDS,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    json_path: Optional[str] = None,
 ) -> str:
-    """Run the three-legged benchmark and return the report text."""
+    """Run the three-legged benchmark and return the report text.
+
+    ``json_path`` writes the structured measurement next to the report:
+    per-run wall-clock and simulated throughput from the serial leg (the
+    leg that actually simulates every run in-process, so its timings are
+    comparable across commits) plus the three leg totals.
+    """
     names = list(names) if names else workload_names()
+    backends = list(backends)
     requests = [
         RunRequest.make(name, backend) for name in names for backend in backends
     ]
@@ -51,13 +66,17 @@ def run_bench(
         "",
     ]
 
-    # Leg 1: serial, no cache (the seed execution model).
+    # Leg 1: serial, no cache (the seed execution model), timed per run.
     serial_runner = SuiteRunner(cache=False)
+    serial: List[RunResult] = []
+    serial_wall: List[float] = []
     t0 = time.perf_counter()
-    serial: List[RunResult] = [
-        serial_runner.run(r.benchmark, r.backend, osu_entries=r.osu_entries)
-        for r in requests
-    ]
+    for r in requests:
+        t_run = time.perf_counter()
+        serial.append(
+            serial_runner.run(r.benchmark, r.backend, osu_entries=r.osu_entries)
+        )
+        serial_wall.append(time.perf_counter() - t_run)
     t_serial = time.perf_counter() - t0
 
     # Leg 2: parallel into a cold cache.
@@ -123,7 +142,62 @@ def run_bench(
             f"  cache_load {sum(loads) / len(loads):6.4f}s mean over "
             f"{len(loads)} warm hit(s)"
         )
+
+    if json_path:
+        payload = _bench_payload(
+            names, backends, jobs, requests, serial, serial_wall,
+            t_serial, t_cold, t_warm,
+            serial_parallel_ok=not mismatches,
+            warm_ok=warm_mismatches == 0,
+        )
+        with open(json_path, "w") as f:
+            json.dump(payload, f, indent=1, sort_keys=True)
+            f.write("\n")
+        lines.append("")
+        lines.append(f"wrote {json_path}")
     return "\n".join(lines)
+
+
+def _bench_payload(
+    names: Sequence[str],
+    backends: Sequence[str],
+    jobs: int,
+    requests: Sequence[RunRequest],
+    serial: Sequence[RunResult],
+    serial_wall: Sequence[float],
+    t_serial: float,
+    t_cold: float,
+    t_warm: float,
+    serial_parallel_ok: bool,
+    warm_ok: bool,
+) -> Dict[str, object]:
+    """The ``--json`` measurement record (``BENCH_*.json`` format)."""
+    runs = []
+    for req, res, wall in zip(requests, serial, serial_wall):
+        runs.append({
+            "benchmark": req.benchmark,
+            "backend": req.backend,
+            "wall_s": round(wall, 4),
+            "cycles": res.stats.cycles,
+            "instructions": res.stats.instructions,
+            "warps_done": res.stats.warps_done,
+            "cycles_per_sec": round(res.stats.cycles / max(wall, 1e-9), 1),
+            "stall_warp_cycles": sum(res.stats.stalls.values()),
+        })
+    return {
+        "benchmarks": list(names),
+        "backends": list(backends),
+        "jobs": jobs,
+        "python": platform.python_version(),
+        "legs": {
+            "serial_s": round(t_serial, 3),
+            "parallel_cold_s": round(t_cold, 3),
+            "warm_s": round(t_warm, 3),
+        },
+        "serial_equals_parallel": serial_parallel_ok,
+        "warm_equals_serial": warm_ok,
+        "runs": runs,
+    }
 
 
 def render_bench(report: str) -> str:

@@ -116,6 +116,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="export format (default: csv)",
     )
     parser.add_argument(
+        "--backends",
+        nargs="*",
+        choices=BACKENDS + ("regless-nc",),
+        default=None,
+        help="for 'bench': backend subset (default: the four paper "
+             "backends; pass all five to include regless-nc)",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="for 'bench': also write the machine-readable measurement "
+             "(per-run wall-clock, simulated cycles, cycles/sec) as JSON",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -151,7 +167,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.experiment == "bench":
-        print(run_bench(names=args.names, jobs=args.jobs))
+        names = args.names if args.names is not None else (args.benchmarks or None)
+        print(run_bench(
+            names=names,
+            backends=args.backends or BACKENDS,
+            jobs=args.jobs,
+            json_path=args.json_path,
+        ))
         return 0
 
     names = args.names if args.names is not None else (args.benchmarks or None)

@@ -80,27 +80,31 @@ class ShardStallTracker:
     histogram).
     """
 
-    __slots__ = ("n_warps", "cycles", "bins", "occupancy", "_last")
+    __slots__ = ("n_warps", "_cycles", "_bins", "_occupancy", "_last", "_repeat")
 
     def __init__(self, n_warps: int):
         self.n_warps = n_warps
-        self.cycles = 0
-        self.bins: Dict[str, int] = {}
-        self.occupancy: Dict[str, Dict[int, int]] = {}
+        self._cycles = 0
+        self._bins: Dict[str, int] = {}
+        self._occupancy: Dict[str, Dict[int, int]] = {}
         self._last: Optional[Dict[str, int]] = None
+        #: pending repetitions of ``_last`` not yet folded into the
+        #: accumulators (run-length encoding: long stretches of cycles
+        #: classify identically, so commit batches them and ``_flush``
+        #: applies the whole run at once).
+        self._repeat = 0
 
     # -- per-cycle feed -------------------------------------------------------
 
     def commit(self, cycle_bins: Dict[str, int]) -> None:
-        """Record one simulated cycle's classification."""
-        self.cycles += 1
-        bins = self.bins
-        occupancy = self.occupancy
-        for reason, count in cycle_bins.items():
-            bins[reason] = bins.get(reason, 0) + count
-            hist = occupancy.setdefault(reason, {})
-            hist[count] = hist.get(count, 0) + 1
+        """Record one simulated cycle's classification.  ``cycle_bins``
+        must be a fresh dict the caller will not mutate afterwards."""
+        if cycle_bins == self._last:
+            self._repeat += 1
+            return
+        self._flush()
         self._last = cycle_bins
+        self._repeat = 1
 
     def replay(self, cycles: int) -> None:
         """Account ``cycles`` fast-forwarded cycles as copies of the last
@@ -109,33 +113,62 @@ class ShardStallTracker:
         exact."""
         if cycles <= 0:
             return
-        last = self._last
-        if last is None:
+        if self._last is None:
             # Defensive: fast-forward before any simulated cycle cannot
             # happen (the dead-cycle test requires a committed cycle), but
             # never silently drop warp-cycles if it somehow does.
-            last = {"issue_width": self.n_warps}
-        self.cycles += cycles
+            self._last = {"issue_width": self.n_warps}
+        self._repeat += cycles
+
+    def _flush(self) -> None:
+        last = self._last
+        n = self._repeat
+        if last is None or n == 0:
+            return
+        self._repeat = 0
+        self._cycles += n
+        bins = self._bins
+        occupancy = self._occupancy
         for reason, count in last.items():
-            self.bins[reason] = self.bins.get(reason, 0) + count * cycles
-            hist = self.occupancy.setdefault(reason, {})
-            hist[count] = hist.get(count, 0) + cycles
+            bins[reason] = bins.get(reason, 0) + count * n
+            hist = occupancy.setdefault(reason, {})
+            hist[count] = hist.get(count, 0) + n
 
     # -- queries --------------------------------------------------------------
 
     @property
+    def cycles(self) -> int:
+        """Simulated + replayed cycles accounted so far."""
+        self._flush()
+        return self._cycles
+
+    @property
+    def bins(self) -> Dict[str, int]:
+        """reason -> accumulated warp-cycles."""
+        self._flush()
+        return self._bins
+
+    @property
+    def occupancy(self) -> Dict[str, Dict[int, int]]:
+        """reason -> {warps-in-bin: cycles at that count}."""
+        self._flush()
+        return self._occupancy
+
+    @property
     def total(self) -> int:
-        return sum(self.bins.values())
+        self._flush()
+        return sum(self._bins.values())
 
     def report(self, sm: int, shard: int) -> Dict[str, object]:
         """A plain-dict snapshot (pickles into cached results)."""
+        self._flush()
         return {
             "sm": sm,
             "shard": shard,
             "warps": self.n_warps,
-            "cycles": self.cycles,
-            "bins": dict(self.bins),
-            "occupancy": {r: dict(h) for r, h in self.occupancy.items()},
+            "cycles": self._cycles,
+            "bins": dict(self._bins),
+            "occupancy": {r: dict(h) for r, h in self._occupancy.items()},
         }
 
 

@@ -27,6 +27,15 @@ class OperandStorage:
 
     name = "null"
 
+    #: May the shard *park* warps this storage blocks (remove them from the
+    #: issue scan until :meth:`notify_wake`)?  Requires two properties:
+    #: ``can_issue`` must be side-effect free on failure (so skipping the
+    #: per-cycle re-attempt changes nothing), and every transition that
+    #: unblocks a warp must call :meth:`notify_wake` for it.  Storages that
+    #: can't guarantee both (RFV's emergency valve counts failed attempts)
+    #: set this False and their blocked warps stay in the ready set.
+    parkable = True
+
     def __init__(self) -> None:
         self.shard: Optional["Shard"] = None
 
@@ -34,6 +43,14 @@ class OperandStorage:
 
     def attach(self, shard: "Shard") -> None:
         self.shard = shard
+
+    def notify_wake(self, warp: "Warp") -> None:
+        """Upcall: a storage-side transition may have unblocked ``warp``
+        (CTA became resident, RegLess region activated/preload advanced).
+        The shard re-checks the warp and returns it to the ready set if its
+        ``stall_reason`` cleared.  Safe to call spuriously."""
+        if self.shard is not None:
+            self.shard.reevaluate(warp)
 
     @property
     def counters(self):
@@ -132,4 +149,11 @@ class CTAOccupancyMixin:
         if all(w.exited for w in self._cta_warps[cta]):
             self._resident_ctas.discard(cta)
             if self._pending_ctas:
-                self._resident_ctas.add(self._pending_ctas.pop(0))
+                nxt = self._pending_ctas.pop(0)
+                self._resident_ctas.add(nxt)
+                # The admitted CTA's warps were occupancy-parked (guarded:
+                # tests exercise the mixin without an OperandStorage base).
+                wake = getattr(self, "notify_wake", None)
+                if wake is not None:
+                    for w in self._cta_warps[nxt]:
+                        wake(w)

@@ -33,6 +33,13 @@ class RFVStorage(OperandStorage):
 
     name = "rfv"
 
+    #: ``can_issue`` is impure on failure (it counts the rejected attempt
+    #: toward ``rfv_stall_cycles`` and arms the emergency valve), so
+    #: pressure-blocked warps must stay in the shard's ready set and be
+    #: re-attempted every cycle — parking them would change both counters
+    #: and valve timing.
+    parkable = False
+
     #: cycles of shard-wide allocation stall before the emergency valve
     #: opens (renaming deadlock avoidance; counted in ``rfv_overflow``).
     EMERGENCY_CYCLES = 2000

@@ -86,6 +86,9 @@ class ReglessStorage(OperandStorage):
         self.cm = CapacityManager(
             self.rcfg, self.compiled, sink("cm"), self.osu, shard.warps
         )
+        # Admission progress (INACTIVE→PRELOADING→ACTIVE) re-admits parked
+        # warps to the shard's ready set.
+        self.cm.wake = self.notify_wake
 
     def _value_of(self, warp_id: int, reg: int) -> LaneValues:
         warp = self._warp_by_id.get(warp_id)

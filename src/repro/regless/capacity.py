@@ -86,6 +86,11 @@ class CapacityManager:
         #: optional region-lifecycle subscriber, set by a Tracer:
         #: ``region_trace(wid, rid, start, active, drain, end)``.
         self.region_trace = None
+        #: optional admission subscriber, set by the storage backend:
+        #: ``wake(warp)`` whenever a warp's CM state advances toward
+        #: issueability (INACTIVE→PRELOADING, →ACTIVE), so the shard can
+        #: re-admit parked warps to its ready set.
+        self.wake = None
 
     # -- queries used by the storage backend -------------------------------------
 
@@ -191,6 +196,10 @@ class CapacityManager:
 
         if ctx.preloads_left == 0:
             self._activate(wid)
+        elif self.wake is not None:
+            # Now PRELOADING: the parked warp's stall bin changes even
+            # though it cannot issue yet.
+            self.wake(warp)
 
     def _pick_candidate(self, now: int) -> int:
         """Normally the stack top (most recently drained: its inputs are the
@@ -219,6 +228,8 @@ class CapacityManager:
         if wheel is not None:
             ctx.active_at = wheel.now
         self.counters.inc("region_activations")
+        if self.wake is not None:
+            self.wake(self.warps[wid])
 
     # -- OSU / shard callbacks ------------------------------------------------------------
 

@@ -166,6 +166,14 @@ class GPU:
                 continue
 
             # Dead cycle: nothing issued and no background pump has work.
+            # Shard-local wake heaps (pipeline-stall expiries; see
+            # repro.sim.shard) are deliberately invisible here: a wake due
+            # mid-skip is popped at the first simulated cycle after the
+            # skip — exactly when the seed's scan-everything loop, which
+            # also never simulated skipped cycles, would first have
+            # re-attempted the warp.  Routing those wakes through the
+            # wheel instead would shrink skip spans and change simulated
+            # attempt counts (e.g. RFV's emergency valve).
             if fast_forward:
                 nxt = wheel.next_event_cycle()
                 if nxt is None:

@@ -2,13 +2,39 @@
 
 The GTX 980 SM has four schedulers; RegLess shards its hardware the same
 way, so the shard is the natural unit tying a warp scheduler to an operand
-storage backend.  Each cycle the shard walks the scheduler's priority order
-and issues up to ``issue_width`` ready instructions.
+storage backend.
+
+The issue core is event-driven: the shard keeps an explicit **ready set**
+and only scans warps that might actually issue.  A warp that blocks is
+*parked* — removed from the set with its stall bin recorded — and is
+re-inserted only by the event that unblocks it:
+
+* ``stall_until`` expiry → a shard-local wake heap, popped at the top of
+  each simulated cycle (deliberately *not* the global ``EventWheel``:
+  pipeline wakes must not create wheel events, or the dead-cycle
+  fast-forward in :meth:`repro.sim.gpu.GPU.run` would stop skipping over
+  them and simulated attempt counts — e.g. RFV's valve — would change);
+* scoreboard / in-flight load clears → :meth:`_writeback`;
+* barrier release → :meth:`repro.sim.sm.SM.barrier_arrive` /
+  ``notify_warp_done`` call :meth:`reevaluate` on each released warp;
+* operand-storage transitions (CTA becomes resident, RegLess region
+  activates/preloads) → :meth:`repro.regfile.base.OperandStorage.notify_wake`.
+
+Storages whose issue test has side effects (RFV's emergency valve counts
+failed attempts) set ``parkable = False`` and their storage-blocked warps
+stay in the ready set, attempted every cycle exactly as before.
+
+Bit-identity contract: parked warps are exactly those whose seed issue
+attempt failed without side effects, so skipping them changes no simulated
+state; stall attribution bins them from the recorded ``park_bin`` instead
+of reclassifying per cycle, preserving the conservation invariant
+(sum(bins) == warps × cycles) and the exact per-cycle histograms.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Set
+from heapq import heappop, heappush
+from typing import TYPE_CHECKING, List, Optional
 
 from ..isa.instructions import Instruction
 from ..isa.opcodes import FuncUnit, Opcode
@@ -23,6 +49,70 @@ if TYPE_CHECKING:  # pragma: no cover
     from .sm import SM
 
 __all__ = ["Shard"]
+
+#: _try_issue outcomes.
+_ISSUE_OK = 1
+_FAIL_PARK = 2  # blocked until a wake event; leave the ready set
+_FAIL_KEEP = 3  # transient (mem-slot arbitration); stay ready
+
+#: bins produced by OperandStorage.stall_reason (parkable only if the
+#: storage opts in; a matching notify_wake upcall must exist).
+_STORAGE_BINS = frozenset(
+    {"occupancy", "rfv_pressure", "cm_inactive", "cm_preloading", "osu_port"}
+)
+#: bins whose seed issue attempt carried a demotion side effect
+#: (``notify_long_stall``).  A warp a demoting scheduler still considers
+#: selectable must NOT be parked under these — it stays in the ready set
+#: so the demotion fires at the exact scan attempt the seed made.
+_DEMOTE_BINS = frozenset({"mem_pending"}) | _STORAGE_BINS
+#: bins a *failed issue attempt* may park under.
+_SCAN_PARK_BINS = frozenset(
+    {"exited", "barrier", "pipeline", "scoreboard", "mem_pending"}
+) | _STORAGE_BINS
+#: bins the *accounting pass* may park under: never "exited"/"barrier" —
+#: a ran-off-the-end warp is binned "exited" but must stay ready so the
+#: next scan synthesizes its exit (with on_warp_exit/notify_warp_done side
+#: effects) at the seed's cycle.
+_ACCT_PARK_BINS = frozenset({"pipeline", "scoreboard", "mem_pending"}) | _STORAGE_BINS
+#: bins that can flip without a warp event (RegLess preloading arbitration
+#: flips cm_preloading <-> osu_port); refreshed each accounted cycle.
+_DYNAMIC_BINS = frozenset({"cm_preloading", "osu_port"})
+
+
+class _Writeback:
+    """Per-issue write-back continuation (avoids a lambda per issue)."""
+
+    __slots__ = ("shard", "warp", "pc", "insn")
+
+    def __init__(self, shard: "Shard", warp: Warp, pc: int, insn: Instruction):
+        self.shard = shard
+        self.warp = warp
+        self.pc = pc
+        self.insn = insn
+
+    def __call__(self) -> None:
+        self.shard._writeback(self.warp, self.pc, self.insn)
+
+
+class _LoadContinuation:
+    """Counts down the cache lines of one LDG; fires the write-back when
+    the last line returns (replaces the seed's ``{"n": ...}`` dict plus
+    closure per load)."""
+
+    __slots__ = ("shard", "warp", "pc", "insn", "remaining")
+
+    def __init__(self, shard: "Shard", warp: Warp, pc: int,
+                 insn: Instruction, remaining: int):
+        self.shard = shard
+        self.warp = warp
+        self.pc = pc
+        self.insn = insn
+        self.remaining = remaining
+
+    def __call__(self) -> None:
+        self.remaining -= 1
+        if self.remaining == 0:
+            self.shard._writeback(self.warp, self.pc, self.insn)
 
 
 class Shard:
@@ -46,7 +136,20 @@ class Shard:
             if sm.config.stall_attribution
             else None
         )
-        self._issued_wids: Set[int] = set()
+        scheduler.on_promote = self._on_promote
+        #: warps currently in the ready set (iterated by stall accounting;
+        #: the scan order lives in the scheduler's own structures).
+        self._ready: set = set(warps)
+        #: stall-bin histogram over currently parked warps (no zero entries).
+        self._parked_bins: dict = {}
+        #: parked warps whose bin is storage-arbitration dependent.
+        self._dynamic: set = set()
+        #: (stall_until, wid, warp) pipeline wake heap + dedup map.
+        self._wake_heap: list = []
+        self._wake_at: dict = {}
+        #: the in-progress issue scan (mid-scan wakes are forwarded to it).
+        self._scan = None
+        self._issued_warps: List[Warp] = []
         storage.attach(self)
 
     # -- per-cycle issue loop ---------------------------------------------------
@@ -56,29 +159,185 @@ class Shard:
         self.storage.cycle()
         sm = self.sm
         scheduler = self.scheduler
-        try_issue = self._try_issue
-        budget = sm.config.issue_width
-        issued = 0
         now = sm.wheel.now
-        issued_wids = self._issued_wids
-        issued_wids.clear()
-        for warp in scheduler.order(now):
-            if budget <= 0:
-                break
-            if not try_issue(warp, now):
-                continue
-            budget -= 1
-            issued += 1
-            issued_wids.add(warp.wid)
-            scheduler.notify_issue(warp, now)
-            # GTX 980 schedulers dual-issue a second, independent
-            # instruction from the same warp.
-            if budget > 0 and try_issue(warp, now):
-                budget -= 1
-                issued += 1
+        scheduler.begin_cycle(now)
+        # Pipeline-stall expiries due this cycle.
+        heap = self._wake_heap
+        if heap:
+            wake_at = self._wake_at
+            while heap and heap[0][0] <= now:
+                t, wid, warp = heappop(heap)
+                if wake_at.get(wid) == t:
+                    del wake_at[wid]
+                    self.reevaluate(warp)
+        issued = 0
+        issued_warps = self._issued_warps
+        issued_warps.clear()
+        if self._ready:
+            try_issue = self._try_issue
+            budget = sm.config.issue_width
+            scan = self._scan = scheduler.begin_scan(now)
+            while budget > 0:
+                warp = scan.next_candidate()
+                if warp is None:
+                    break
+                code = try_issue(warp, now)
+                if code is _ISSUE_OK:
+                    budget -= 1
+                    issued += 1
+                    issued_warps.append(warp)
+                    scheduler.notify_issue(warp, now)
+                    # GTX 980 schedulers dual-issue a second, independent
+                    # instruction from the same warp.
+                    if budget > 0 and try_issue(warp, now) is _ISSUE_OK:
+                        budget -= 1
+                        issued += 1
+                    if warp.exited or warp.at_barrier:
+                        self._park(warp, self._classify(warp, now))
+                elif code is _FAIL_PARK:
+                    self._maybe_park(warp, now)
+            self._scan = None
         if self.stalls is not None:
-            self._account_stalls(now, issued_wids)
+            self._account_stalls(now, issued_warps)
         return issued
+
+    # -- ready-set maintenance ---------------------------------------------------
+
+    def reevaluate(self, warp: Warp) -> None:
+        """Re-check a parked warp after a wake event; make it ready if its
+        blocking condition cleared, else re-park it under the current bin.
+
+        Safe to call spuriously; no-op for warps already in the ready set
+        (a ready warp's state is re-derived at its next scan attempt, and
+        parking it here could snapshot two-level demotion timing with a
+        stale ``_now``)."""
+        if warp.ready:
+            return
+        now = self.sm.wheel.now
+        if not warp.exited and not warp.at_barrier and now >= warp.stall_until:
+            pc = self._effective_pc(warp)
+            if pc >= self.sm.program_len:
+                # Ran off the end: the next scan synthesizes the exit.
+                self._make_ready(warp)
+                return
+            insn = self.sm.program[pc]
+            if warp.scoreboard_ready(insn):
+                storage = self.storage
+                if not storage.parkable or storage.stall_reason(
+                    warp, pc, insn
+                ) is None:
+                    self._make_ready(warp)
+                    return
+        bin_ = self._classify(warp, now)
+        if (
+            bin_ in _DEMOTE_BINS
+            and self.scheduler.demotes
+            and self.scheduler.eligible(warp)
+        ):
+            # Still blocked, but the seed would demote it at its next scan
+            # attempt — return it to the ready set so that attempt happens.
+            self._make_ready(warp)
+            return
+        self._repark(warp, bin_)
+
+    def _make_ready(self, warp: Warp) -> None:
+        warp.ready = True
+        self._ready.add(warp)
+        bins = self._parked_bins
+        b = warp.park_bin
+        n = bins[b] - 1
+        if n:
+            bins[b] = n
+        else:
+            del bins[b]
+        warp.park_bin = None
+        if warp.park_dynamic:
+            warp.park_dynamic = False
+            self._dynamic.discard(warp)
+        self.scheduler.notify_ready(warp)
+        if self._scan is not None:
+            self._scan.on_wake(warp)
+
+    def _park(self, warp: Warp, bin_: str) -> None:
+        """Remove a ready warp from the ready set under ``bin_``."""
+        warp.ready = False
+        self._ready.discard(warp)
+        self.scheduler.notify_blocked(warp)
+        self._parked_bins[bin_] = self._parked_bins.get(bin_, 0) + 1
+        warp.park_bin = bin_
+        if bin_ in _DYNAMIC_BINS:
+            warp.park_dynamic = True
+            warp.park_pc = self._effective_pc(warp)
+            self._dynamic.add(warp)
+        elif bin_ == "pipeline":
+            self._schedule_wake(warp)
+        elif bin_ == "exited":
+            self.scheduler.notify_exit(warp)
+
+    def _repark(self, warp: Warp, bin_: str) -> None:
+        """Refresh an already-parked warp's recorded bin."""
+        old = warp.park_bin
+        if old == bin_:
+            if bin_ == "pipeline":
+                self._schedule_wake(warp)  # stall_until may have grown
+            return
+        bins = self._parked_bins
+        n = bins[old] - 1
+        if n:
+            bins[old] = n
+        else:
+            del bins[old]
+        bins[bin_] = bins.get(bin_, 0) + 1
+        warp.park_bin = bin_
+        dynamic = bin_ in _DYNAMIC_BINS
+        if dynamic:
+            warp.park_pc = self._effective_pc(warp)
+            if not warp.park_dynamic:
+                warp.park_dynamic = True
+                self._dynamic.add(warp)
+        elif warp.park_dynamic:
+            warp.park_dynamic = False
+            self._dynamic.discard(warp)
+        if bin_ == "pipeline":
+            self._schedule_wake(warp)
+        elif bin_ == "exited":
+            self.scheduler.notify_exit(warp)
+
+    def _schedule_wake(self, warp: Warp) -> None:
+        t = warp.stall_until
+        wid = warp.wid
+        if self._wake_at.get(wid, -1) >= t:
+            return
+        self._wake_at[wid] = t
+        heappush(self._wake_heap, (t, wid, warp))
+
+    def _maybe_park(self, warp: Warp, now: int) -> None:
+        """Park after a failed issue attempt, if the failure is one that
+        only a wake event can clear."""
+        if not warp.ready:
+            # A scan can re-yield an already-parked warp (GTO mid-scan
+            # greedy handoff); the repeat attempt is side-effect free.
+            return
+        bin_ = self._classify(warp, now)
+        if bin_ not in _SCAN_PARK_BINS:
+            return
+        if bin_ in _STORAGE_BINS and not self.storage.parkable:
+            return
+        if (
+            bin_ in _DEMOTE_BINS
+            and self.scheduler.demotes
+            and self.scheduler.eligible(warp)
+        ):
+            # Still selectable by a demoting scheduler: stay ready so the
+            # next seed-timed attempt can demote it (the attempt that just
+            # failed normally demoted it already, making it ineligible).
+            return
+        self._park(warp, bin_)
+
+    def _on_promote(self, warp: Warp) -> None:
+        """Two-level promotion raised a parked warp's ``stall_until``."""
+        if not warp.ready:
+            self._repark(warp, self._classify(warp, self.sm.wheel.now))
 
     # -- stall attribution ------------------------------------------------------
 
@@ -125,20 +384,86 @@ class Shard:
             return "demoted"
         return "issue_width"
 
-    def _account_stalls(self, now: int, issued_wids: Set[int]) -> None:
-        bins: dict = {}
+    def _account_stalls(self, now: int, issued_warps: List[Warp]) -> None:
+        # Parked RegLess-preloading warps flip between cm_preloading and
+        # osu_port with OSU port arbitration — no warp event marks the
+        # flip, so refresh them here (preloading phases are never
+        # fast-forwarded: the CM reports non-idle).
+        if self._dynamic:
+            bins_live = self._parked_bins
+            program = self.sm.program
+            storage = self.storage
+            for warp in tuple(self._dynamic):
+                pc = warp.park_pc
+                reason = storage.stall_reason(warp, pc, program[pc])
+                if reason is None:
+                    # Storage unblocked without an upcall (defensive; the
+                    # CM wake hook should have fired).
+                    self.reevaluate(warp)
+                elif reason != warp.park_bin:
+                    n = bins_live[warp.park_bin] - 1
+                    if n:
+                        bins_live[warp.park_bin] = n
+                    else:
+                        del bins_live[warp.park_bin]
+                    bins_live[reason] = bins_live.get(reason, 0) + 1
+                    warp.park_bin = reason
+        bins = dict(self._parked_bins)
         classify = self._classify
-        for warp in self.warps:
+        storage_parkable = self.storage.parkable
+        demotes = self.scheduler.demotes
+        issued_wids = {w.wid for w in issued_warps}
+        to_park = None
+        for warp in self._ready:
             if warp.wid in issued_wids:
-                reason = ISSUED
-            else:
-                reason = classify(warp, now)
+                continue
+            reason = classify(warp, now)
             bins[reason] = bins.get(reason, 0) + 1
+            # Ready warps the scan never reached (budget exhausted, or a
+            # two-level pending pool) that are in fact event-blocked can
+            # park here: the seed's attempts on them (if any) would have
+            # been side-effect free, and the recorded bin is stable until
+            # the corresponding wake event.
+            if reason in _ACCT_PARK_BINS:
+                if reason in _STORAGE_BINS and not storage_parkable:
+                    continue
+                if reason in _DEMOTE_BINS and demotes and \
+                        self.scheduler.eligible(warp):
+                    continue  # must stay ready for the seed-timed demote
+            elif reason == "demoted" and storage_parkable:
+                # Pending-pool warp that could otherwise issue: stable
+                # until promotion (_on_promote re-bins it) *unless* its
+                # next instruction needs the per-cycle memory slot (the
+                # seed then flips between demoted and mem_slot) or the
+                # storage's pressure state can change under it (RFV).
+                pc = self._effective_pc(warp)
+                if self.sm.program[pc].opcode.info.unit is FuncUnit.MEM:
+                    continue
+            else:
+                continue
+            if to_park is None:
+                to_park = [(warp, reason)]
+            else:
+                to_park.append((warp, reason))
+        if to_park is not None:
+            for warp, reason in to_park:
+                self._park(warp, reason)
+        for warp in issued_warps:
+            if not warp.ready:
+                # Issued then parked (EXIT/BAR): already counted in the
+                # parked histogram; count it as ISSUED instead.
+                n = bins[warp.park_bin] - 1
+                if n:
+                    bins[warp.park_bin] = n
+                else:
+                    del bins[warp.park_bin]
+        if issued_warps:
+            bins[ISSUED] = len(issued_warps)
         self.stalls.commit(bins)
 
-    def _try_issue(self, warp: Warp, now: int) -> bool:
+    def _try_issue(self, warp: Warp, now: int) -> int:
         if not warp.runnable or now < warp.stall_until:
-            return False
+            return _FAIL_PARK
         warp.maybe_reconverge()
         pc = warp.pc
         if pc >= self.sm.program_len:
@@ -146,21 +471,21 @@ class Shard:
             warp.exited = True
             self.storage.on_warp_exit(warp)
             self.sm.notify_warp_done(warp)
-            return False
+            return _FAIL_PARK
         insn = self.sm.program[pc]
         if not warp.scoreboard_ready(insn):
             if self._blocked_on_memory(warp, insn):
                 self.scheduler.notify_long_stall(warp)
-            return False
+            return _FAIL_PARK
         if not self.storage.can_issue(warp, pc, insn):
             # Warps the storage cannot serve (non-resident CTA, inactive
             # RegLess region) must not pin a two-level active-pool slot.
             self.scheduler.notify_long_stall(warp)
-            return False
+            return _FAIL_PARK
         if insn.opcode.info.unit is FuncUnit.MEM and not self.sm.take_mem_slot():
-            return False
+            return _FAIL_KEEP
         self.issue(warp, pc, insn)
-        return True
+        return _ISSUE_OK
 
     def _blocked_on_memory(self, warp: Warp, insn: Instruction) -> bool:
         """Two-level demotion trigger: a source operand is waiting on an
@@ -238,14 +563,14 @@ class Shard:
         warp.write_reg(dst, value, full=full)
         warp.mark_pending(insn)
         latency = insn.opcode.info.latency
-        self.sm.wheel.after(latency, lambda: self._writeback(warp, pc, insn))
+        self.sm.wheel.after(latency, _Writeback(self, warp, pc, insn))
 
     def _issue_setp(self, warp: Warp, insn: Instruction, pc: int) -> None:
         mask = self.sm.gpu.oracle.pred_mask(warp.wid, pc, insn.tag)
         warp.write_pred(insn.pred_dsts[0], mask)
         warp.mark_pending(insn)
         latency = insn.opcode.info.latency
-        self.sm.wheel.after(latency, lambda: self._writeback(warp, pc, insn))
+        self.sm.wheel.after(latency, _Writeback(self, warp, pc, insn))
 
     def _issue_memory(self, warp: Warp, insn: Instruction, pc: int,
                       active: int) -> None:
@@ -257,7 +582,7 @@ class Shard:
                 warp.write_reg(insn.reg_dsts[0], value)
                 warp.mark_pending(insn)
                 sm.wheel.after(op.info.latency,
-                               lambda: self._writeback(warp, pc, insn))
+                               _Writeback(self, warp, pc, insn))
             sm.counters.inc("shared_access")
             return
         if op is Opcode.STS:
@@ -281,13 +606,7 @@ class Shard:
                        full=active == warp.active_mask)
         warp.mark_pending(insn)
         warp.pending_loads.add(insn.reg_dsts[0].index)
-        remaining = {"n": len(lines)}
-
-        def on_line() -> None:
-            remaining["n"] -= 1
-            if remaining["n"] == 0:
-                self._writeback(warp, pc, insn)
-
+        on_line = _LoadContinuation(self, warp, pc, insn, len(lines))
         for line in lines:
             sm.hierarchy.request(sm.sm_id, line, False, on_line, kind="data")
 
@@ -302,6 +621,10 @@ class Shard:
             for r in insn.reg_dsts:
                 ws.add((warp.wid, r.index))
         self.storage.on_writeback(warp, pc, insn)
+        if not warp.ready:
+            # Scoreboard/load clear (and possibly a RegLess region finish
+            # via on_writeback above): re-check the parked warp.
+            self.reevaluate(warp)
 
     # -- control flow -----------------------------------------------------------------------
 

@@ -127,8 +127,13 @@ class SM:
         members = [w for w in self.warps if w.cta_id == cta and not w.exited]
         if self._barrier_count[cta] >= len(members):
             self._barrier_count[cta] = 0
+            shards = self.shards
             for w in members:
                 w.at_barrier = False
+                # Wake barrier-parked warps (CTAs can span shards, so this
+                # may land in a shard whose cycle already ran — its stall
+                # accounting committed before the release, as in the seed).
+                shards[w.shard_id].reevaluate(w)
 
     def notify_warp_done(self, warp: Warp) -> None:
         self.warps_done += 1
@@ -142,8 +147,10 @@ class SM:
             waiting = [w for w in members if w.at_barrier]
             if members and len(waiting) >= len(members):
                 self._barrier_count[cta] = 0
+                shards = self.shards
                 for w in waiting:
                     w.at_barrier = False
+                    shards[w.shard_id].reevaluate(w)
 
     # -- simulation ------------------------------------------------------------------------
 

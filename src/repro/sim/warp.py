@@ -33,9 +33,13 @@ class StackEntry:
     pc: int
 
 
-@dataclass(slots=True)
+@dataclass(slots=True, eq=False)
 class Warp:
-    """Dynamic state of one warp."""
+    """Dynamic state of one warp.
+
+    ``eq=False``: warps are identity objects (hashable, compared with
+    ``is``) — pool membership tests and ready-set bookkeeping must not
+    field-compare two warps."""
 
     wid: int
     shard_id: int
@@ -61,6 +65,22 @@ class Warp:
     issued: int = 0
     #: set by GTO when this warp last issued (greedy stickiness).
     last_issue_cycle: int = -1
+
+    # -- event-driven issue core (repro.sim.shard) ---------------------------
+    #: position in the shard's warp list (ring slot for LRR, sort tiebreak).
+    slot: int = 0
+    #: in the shard's ready set: the issue scan considers this warp.  Blocked
+    #: warps leave the set and are re-inserted by the event that unblocks
+    #: them (write-back, barrier release, stall expiry, storage wake).
+    ready: bool = True
+    #: recorded stall bin while parked (stall attribution reads this instead
+    #: of reclassifying the warp every cycle).
+    park_bin: Optional[str] = None
+    #: parked with a bin that can change without a warp event (RegLess
+    #: preloading: ``cm_preloading`` <-> ``osu_port``); refreshed per cycle.
+    park_dynamic: bool = False
+    #: effective pc cached at park time (for the dynamic-bin refresh).
+    park_pc: int = -1
 
     def __post_init__(self) -> None:
         if not self.stack:

@@ -1,0 +1,138 @@
+"""Seed (pre-ready-set) scheduler implementations, kept as naive references.
+
+These are the original O(W)-per-cycle schedulers the event-driven
+incremental schedulers in :mod:`repro.sim.scheduler` must replicate
+*exactly*: the property tests in ``test_scheduler_equivalence.py`` drive
+both through randomized block/wake/issue traces and assert identical issue
+orders, including the quirky corners —
+
+* GTO's generator yields the greedy warp first and filters ``w is not
+  self._greedy`` at *each* subsequent yield, so a mid-scan greedy handoff
+  makes the old greedy warp come up a second time at its sorted position;
+* LRR's generator reads ``self._next`` at each yield, so an issue mid-scan
+  rebases the ring and can skip or repeat warps within one cycle;
+* the two-level scheduler's per-cycle ``_refill`` promotes into exit-freed
+  slots only at the *next* ``order()`` call, which shifts the promotion
+  penalty (``stall_until``) by one cycle relative to the exit.
+
+Do not "fix" these behaviors here: they define bit-identity for the
+simulator's results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.sim.warp import Warp
+
+__all__ = [
+    "NaiveGTOScheduler",
+    "NaiveLRRScheduler",
+    "NaiveTwoLevelScheduler",
+]
+
+
+class _NaiveBase:
+    def __init__(self, warps: List[Warp]):
+        self.warps = warps
+
+    def order(self, cycle: int) -> Iterable[Warp]:
+        raise NotImplementedError
+
+    def notify_issue(self, warp: Warp, cycle: int) -> None:
+        """A warp issued this cycle."""
+
+    def notify_long_stall(self, warp: Warp) -> None:
+        """A warp blocked on a long-latency (memory) operation."""
+
+    def eligible(self, warp: Warp) -> bool:
+        return True
+
+
+class NaiveGTOScheduler(_NaiveBase):
+    """Greedy-then-oldest, re-sorting every warp every cycle."""
+
+    def __init__(self, warps: List[Warp]):
+        super().__init__(warps)
+        self._greedy: Warp = warps[0] if warps else None  # type: ignore
+        self._greedy_issued_at = -1
+
+    def order(self, cycle: int) -> Iterable[Warp]:
+        if self._greedy is not None and not self._greedy.done:
+            yield self._greedy
+        for w in sorted(self.warps, key=lambda w: w.last_issue_cycle):
+            if w is not self._greedy:
+                yield w
+
+    def notify_issue(self, warp: Warp, cycle: int) -> None:
+        warp.last_issue_cycle = cycle
+        if warp is self._greedy:
+            self._greedy_issued_at = cycle
+            return
+        if (
+            self._greedy is None
+            or self._greedy.done
+            or self._greedy_issued_at < cycle
+        ):
+            self._greedy = warp
+            self._greedy_issued_at = cycle
+
+
+class NaiveLRRScheduler(_NaiveBase):
+    """Loose round-robin with the O(W) ``list.index`` on issue."""
+
+    def __init__(self, warps: List[Warp]):
+        super().__init__(warps)
+        self._next = 0
+
+    def order(self, cycle: int) -> Iterable[Warp]:
+        n = len(self.warps)
+        for i in range(n):
+            yield self.warps[(self._next + i) % n]
+
+    def notify_issue(self, warp: Warp, cycle: int) -> None:
+        self._next = (self.warps.index(warp) + 1) % len(self.warps)
+
+
+class NaiveTwoLevelScheduler(_NaiveBase):
+    """Two-level scheduling with the per-cycle rebuild-and-copy pools."""
+
+    PROMOTE_PENALTY = 14
+
+    def __init__(self, warps: List[Warp], active_size: int = 8):
+        super().__init__(warps)
+        self.active_size = active_size
+        self._active: List[Warp] = list(warps[:active_size])
+        self._pending: List[Warp] = list(warps[active_size:])
+        self._now = 0
+
+    def order(self, cycle: int) -> Iterable[Warp]:
+        self._now = cycle
+        self._refill()
+        return list(self._active)
+
+    def _refill(self) -> None:
+        self._active = [w for w in self._active if not w.done]
+        self._pending = [w for w in self._pending if not w.done]
+        while len(self._active) < self.active_size and self._pending:
+            warp = self._pending.pop(0)
+            warp.stall_until = max(
+                warp.stall_until, self._now + self.PROMOTE_PENALTY
+            )
+            self._active.append(warp)
+
+    def notify_issue(self, warp: Warp, cycle: int) -> None:
+        warp.last_issue_cycle = cycle
+
+    def notify_long_stall(self, warp: Warp) -> None:
+        if warp in self._active:
+            self._active.remove(warp)
+            self._pending.append(warp)
+            self._refill()
+
+    def eligible(self, warp: Warp) -> bool:
+        return warp in self._active
+
+    @property
+    def active_pool(self) -> List[Warp]:
+        return list(self._active)

@@ -1,0 +1,361 @@
+"""Property tests: the incremental (event-driven) schedulers issue in the
+exact order of their naive per-cycle-scan references.
+
+A randomized *trace* gives every warp a little program of abstract
+instructions — ``free`` (no hazard), ``alu``/``mem`` (scoreboard-block the
+warp for a latency), ``ext`` (block until another warp exits; the stand-in
+for barrier releases and CTA-admission wakes, which arrive *mid-scan*).
+The driver replicates the shard's issue loop semantics on both sides:
+
+* naive side: iterate ``order(cycle)``, attempt every candidate, failures
+  are side-effect free except ``notify_long_stall`` on memory blocks;
+* event side: ``begin_cycle`` → timed wake-ups → ``begin_scan`` /
+  ``next_candidate``, parking failed candidates out of the ready set and
+  re-inserting them only on the unblocking event (including the mid-scan
+  ``_Scan.on_wake`` path for exits that release ``ext``-blocked warps).
+
+Both sides must produce identical issue traces and identical final warp
+state.  This pins the quirky corners documented in
+:mod:`tests.sim.naive_schedulers` (GTO greedy handoff double-yield, LRR
+mid-scan ring rebasing, two-level promote-at-next-cycle timing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.scheduler import (
+    GTOScheduler,
+    LRRScheduler,
+    TwoLevelScheduler,
+    WarpScheduler,
+)
+from repro.sim.warp import Warp
+
+from .naive_schedulers import (
+    NaiveGTOScheduler,
+    NaiveLRRScheduler,
+    NaiveTwoLevelScheduler,
+)
+
+_INF = 10**9
+_ISSUE_WIDTH = 2
+_CYCLES = 240
+
+#: (kind, arg) abstract instructions; arg is a latency (alu/mem) or the
+#: wid whose exit releases the block (ext).
+Insn = Tuple[str, int]
+
+
+@st.composite
+def traces(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    plans: List[List[Insn]] = []
+    for _ in range(n):
+        m = draw(st.integers(min_value=0, max_value=10))
+        plan: List[Insn] = []
+        for _ in range(m):
+            kind = draw(
+                st.sampled_from(["free", "alu", "alu", "mem", "mem", "ext"])
+            )
+            if kind == "alu":
+                plan.append(("alu", draw(st.integers(1, 5))))
+            elif kind == "mem":
+                plan.append(("mem", draw(st.integers(2, 30))))
+            elif kind == "ext":
+                plan.append(("ext", draw(st.integers(0, n - 1))))
+            else:
+                plan.append(("free", 0))
+        plans.append(plan)
+    return n, plans
+
+
+def _make_warps(n: int) -> List[Warp]:
+    return [
+        Warp(wid=i, shard_id=0, cta_id=0, entry_pc=0, sentinel_pc=999)
+        for i in range(n)
+    ]
+
+
+class _Side:
+    """One scheduler driven through a trace with shard-equivalent rules."""
+
+    def __init__(self, sched: WarpScheduler, plans: List[List[Insn]],
+                 event_driven: bool):
+        self.sched = sched
+        self.warps = sched.warps
+        self.plans = plans
+        n = len(self.warps)
+        self.ip = [0] * n
+        self.block_until = [0] * n
+        self.block_kind: List[Optional[str]] = [None] * n
+        self.waiters: Dict[int, List[int]] = {}
+        self.event_driven = event_driven
+        self.trace: List[Tuple[int, int]] = []
+        self.scan = None
+        self.now = 0
+        if event_driven:
+            #: wid -> wake cycle (_INF: woken only by an external event)
+            self.parked: Dict[int, int] = {}
+            sched.on_promote = self._on_promote
+
+    # -- shared issue-attempt semantics (mirrors Shard._try_issue) ----------
+
+    def _attempt(self, w: Warp, cycle: int) -> str:
+        wid = w.wid
+        if w.exited:
+            return "exited"
+        if self.block_kind[wid] == "ext" and cycle < self.block_until[wid]:
+            return "barrier"
+        if cycle < w.stall_until:
+            return "pipeline"
+        if cycle < self.block_until[wid]:
+            if self.block_kind[wid] == "mem":
+                # The shard demotes on memory-blocked attempts.
+                self.sched.notify_long_stall(w)
+                return "mem_pending"
+            return "scoreboard"
+        # Issue.
+        self.trace.append((cycle, wid))
+        plan = self.plans[wid]
+        ip = self.ip[wid]
+        if ip >= len(plan):
+            w.exited = True
+            self._release_waiters(w, cycle)
+            return "issued"
+        kind, arg = plan[ip]
+        self.ip[wid] = ip + 1
+        if kind in ("alu", "mem"):
+            self.block_until[wid] = cycle + arg
+            self.block_kind[wid] = kind
+        elif kind == "ext":
+            if arg != wid and not self.warps[arg].exited:
+                self.block_until[wid] = _INF
+                self.block_kind[wid] = "ext"
+                self.waiters.setdefault(arg, []).append(wid)
+        return "issued"
+
+    def _release_waiters(self, w: Warp, cycle: int) -> None:
+        for wid in self.waiters.pop(w.wid, ()):
+            if self.block_kind[wid] == "ext":
+                self.block_until[wid] = 0
+                self.block_kind[wid] = None
+                if self.event_driven:
+                    # Mid-scan wake, like a barrier release / CTA admission.
+                    self._reevaluate(self.warps[wid], cycle)
+
+    # -- event-side park/wake bookkeeping (mirrors Shard) -------------------
+
+    def _classify(self, w: Warp, cycle: int) -> str:
+        wid = w.wid
+        if w.exited:
+            return "exited"
+        if self.block_kind[wid] == "ext" and cycle < self.block_until[wid]:
+            return "barrier"
+        if cycle < w.stall_until:
+            return "pipeline"
+        if cycle < self.block_until[wid]:
+            return "mem_pending" if self.block_kind[wid] == "mem" else "scoreboard"
+        return "none"
+
+    def _make_ready(self, w: Warp) -> None:
+        w.ready = True
+        del self.parked[w.wid]
+        self.sched.notify_ready(w)
+        if self.scan is not None:
+            self.scan.on_wake(w)
+
+    def _wake_cycle(self, w: Warp, bin_: str) -> int:
+        if bin_ == "pipeline":
+            return w.stall_until
+        if bin_ in ("scoreboard", "mem_pending"):
+            return self.block_until[w.wid]
+        return _INF  # exited / barrier: woken externally or never
+
+    def _park(self, w: Warp, bin_: str) -> None:
+        w.ready = False
+        self.parked[w.wid] = self._wake_cycle(w, bin_)
+        self.sched.notify_blocked(w)
+        if bin_ == "exited":
+            self.sched.notify_exit(w)
+
+    def _repark(self, w: Warp, bin_: str) -> None:
+        self.parked[w.wid] = self._wake_cycle(w, bin_)
+
+    def _maybe_park(self, w: Warp, bin_: str) -> None:
+        if (
+            bin_ == "mem_pending"
+            and self.sched.demotes
+            and self.sched.eligible(w)
+        ):
+            return  # stays ready so the demotion fires at a seed-timed scan
+        self._park(w, bin_)
+
+    def _reevaluate(self, w: Warp, cycle: int) -> None:
+        if w.ready:
+            return
+        wid = w.wid
+        if (
+            not w.exited
+            and cycle >= w.stall_until
+            and cycle >= self.block_until[wid]
+        ):
+            self._make_ready(w)
+            return
+        bin_ = self._classify(w, cycle)
+        if (
+            bin_ == "mem_pending"
+            and self.sched.demotes
+            and self.sched.eligible(w)
+        ):
+            self._make_ready(w)
+            return
+        self._repark(w, bin_)
+
+    def _on_promote(self, w: Warp) -> None:
+        if not w.ready:
+            self._repark(w, self._classify(w, self.now))
+
+    # -- per-cycle loops ----------------------------------------------------
+
+    def cycle(self, cycle: int) -> None:
+        if self.event_driven:
+            self._cycle_event(cycle)
+        else:
+            self._cycle_naive(cycle)
+
+    def _cycle_naive(self, cycle: int) -> None:
+        budget = _ISSUE_WIDTH
+        for w in self.sched.order(cycle):
+            if budget == 0:
+                break
+            if self._attempt(w, cycle) == "issued":
+                budget -= 1
+                self.sched.notify_issue(w, cycle)
+                if budget > 0 and self._attempt(w, cycle) == "issued":
+                    budget -= 1
+
+    def _cycle_event(self, cycle: int) -> None:
+        self.now = cycle
+        self.sched.begin_cycle(cycle)
+        due = sorted(
+            (t, wid) for wid, t in self.parked.items() if t <= cycle
+        )
+        for t, wid in due:
+            if self.parked.get(wid) == t:
+                self._reevaluate(self.warps[wid], cycle)
+        if not any(w.ready for w in self.warps):
+            return
+        self.scan = self.sched.begin_scan(cycle)
+        budget = _ISSUE_WIDTH
+        while budget > 0:
+            w = self.scan.next_candidate()
+            if w is None:
+                break
+            res = self._attempt(w, cycle)
+            if res == "issued":
+                budget -= 1
+                self.sched.notify_issue(w, cycle)
+                if budget > 0 and self._attempt(w, cycle) == "issued":
+                    budget -= 1
+                if w.exited:
+                    self._park(w, "exited")
+            else:
+                self._maybe_park(w, res)
+        self.scan = None
+
+
+def _run_pair(naive_factory, incr_factory, n: int,
+              plans: List[List[Insn]]) -> None:
+    naive = _Side(naive_factory(_make_warps(n)), plans, event_driven=False)
+    incr = _Side(incr_factory(_make_warps(n)), plans, event_driven=True)
+    for cycle in range(_CYCLES):
+        naive.cycle(cycle)
+        incr.cycle(cycle)
+        assert naive.trace == incr.trace, f"diverged at cycle {cycle}"
+    for a, b in zip(naive.warps, incr.warps):
+        assert a.exited == b.exited, a.wid
+        assert a.last_issue_cycle == b.last_issue_cycle, a.wid
+        assert a.stall_until == b.stall_until, a.wid
+    assert naive.ip == incr.ip
+    assert naive.block_until == incr.block_until
+
+
+@settings(deadline=None, max_examples=60)
+@given(traces())
+def test_gto_matches_naive(trace):
+    n, plans = trace
+    _run_pair(NaiveGTOScheduler, GTOScheduler, n, plans)
+
+
+@settings(deadline=None, max_examples=60)
+@given(traces())
+def test_lrr_matches_naive(trace):
+    n, plans = trace
+    _run_pair(NaiveLRRScheduler, LRRScheduler, n, plans)
+
+
+@settings(deadline=None, max_examples=60)
+@given(traces())
+def test_two_level_matches_naive(trace):
+    n, plans = trace
+    active = 4
+
+    def naive(warps):
+        return NaiveTwoLevelScheduler(warps, active_size=active)
+
+    def incr(warps):
+        return TwoLevelScheduler(warps, active_size=active)
+
+    _run_pair(naive, incr, n, plans)
+
+
+def test_gto_greedy_handoff_double_yield():
+    """The seed quirk, pinned deterministically: when the greedy warp
+    stalls and another warp takes greediness mid-scan, the *old* greedy
+    comes up again at its sorted position in the same cycle."""
+    n = 3
+    # warp0 (greedy) blocks; warp1 issues and becomes greedy; warp0 is no
+    # longer filtered as greedy and gets a second attempt at its sorted
+    # position — where it fails again, side-effect free.
+    plans = [[("alu", 4), ("free", 0)], [("free", 0)] * 3, [("free", 0)] * 3]
+    _run_pair(NaiveGTOScheduler, GTOScheduler, n, plans)
+
+
+def test_lrr_midscan_rebase():
+    """LRR reads the ring cursor live: an issue mid-scan rebases the ring."""
+    plans = [[("mem", 10), ("free", 0)], [("free", 0)] * 4,
+             [("alu", 2)] * 3, [("free", 0)] * 2]
+    _run_pair(NaiveLRRScheduler, LRRScheduler, 4, plans)
+
+
+def test_two_level_promotes_next_cycle_after_exit():
+    """An exit frees an active-pool slot, but the promotion (and its
+    pipeline refill penalty) lands at the next cycle start."""
+    plans = [[("free", 0)], [("mem", 20)] * 2, [("free", 0)] * 4,
+             [("free", 0)] * 4, [("free", 0)] * 6]
+
+    def naive(warps):
+        return NaiveTwoLevelScheduler(warps, active_size=2)
+
+    def incr(warps):
+        return TwoLevelScheduler(warps, active_size=2)
+
+    _run_pair(naive, incr, 5, plans)
+
+
+def test_ext_release_wakes_midscan():
+    """A warp blocked on another warp's exit is woken mid-scan (the
+    barrier-release / CTA-admission path) and must only be attempted if
+    the naive scan would still have reached it."""
+    plans = [[("ext", 2), ("free", 0), ("free", 0)],
+             [("ext", 2), ("free", 0)],
+             [("free", 0)],
+             [("alu", 3), ("free", 0)]]
+    for naive_f, incr_f in [
+        (NaiveGTOScheduler, GTOScheduler),
+        (NaiveLRRScheduler, LRRScheduler),
+    ]:
+        _run_pair(naive_f, incr_f, 4, plans)
