@@ -17,6 +17,7 @@ Backends:
 
 from __future__ import annotations
 
+import gc
 import pickle
 import time
 from dataclasses import dataclass, field
@@ -226,10 +227,20 @@ class SuiteRunner:
         factory = self.storage_factory(
             request.backend, compiled, request.osu_entries
         )
-        stats = run_simulation(
-            cfg, compiled, workload, factory,
-            window_series=request.window_series,
-        )
+        # The simulator allocates millions of short-lived objects and keeps
+        # no reference cycles; pausing the cyclic GC for the run avoids
+        # collector sweeps interrupting the hot loop.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            stats = run_simulation(
+                cfg, compiled, workload, factory,
+                window_series=request.window_series,
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         t_simulated = time.perf_counter()
         model_backend = (
             "regless" if request.backend == "regless-nc" else request.backend

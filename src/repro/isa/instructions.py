@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from .opcodes import Opcode
+from .opcodes import FuncUnit, Opcode, OpInfo
 from .registers import Imm, Operand, Pred, Reg
 
 __all__ = ["Instruction", "PredGuard"]
@@ -66,6 +66,28 @@ class Instruction:
     #: all general registers referenced (reads then writes).
     regs: Tuple[Reg, ...] = field(init=False, repr=False, compare=False)
 
+    # Denormalized static properties for the simulator's per-cycle loops
+    # (scoreboard check, stall classification, issue): plain ints/bools
+    # here replace ``insn.opcode.info.unit``-style chains and per-operand
+    # ``.index`` loads in code that runs hundreds of thousands of times.
+    #: ``opcode.info``, pre-resolved.
+    info: "OpInfo" = field(init=False, repr=False, compare=False)
+    #: issues to the memory pipeline (LDG/STG/LDS/STS).
+    is_mem: bool = field(init=False, repr=False, compare=False)
+    #: result latency (``opcode.info.latency``).
+    latency: int = field(init=False, repr=False, compare=False)
+    #: indices of ``regs`` / ``reg_srcs`` / ``reg_dsts``.
+    reg_idx: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    src_idx: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    dst_idx: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    #: indices of every predicate the scoreboard must check (srcs + dsts).
+    pred_idx: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    #: indices of ``pred_dsts``.
+    pred_dst_idx: Tuple[int, ...] = field(init=False, repr=False, compare=False)
+    #: lazily-built functional-execution closure (``repro.sim.executor``
+    #: owns this; a cache slot, not part of the instruction's identity).
+    exec_plan: object = field(init=False, repr=False, compare=False)
+
     def __post_init__(self) -> None:
         if self.opcode.info.is_branch and self.target is None:
             raise ValueError("BRA requires a target label")
@@ -80,12 +102,42 @@ class Instruction:
         pred_srcs = [s for s in self.srcs if isinstance(s, Pred)]
         if self.guard is not None:
             pred_srcs.append(self.guard.pred)
+        pred_dsts = tuple(d for d in self.dsts if isinstance(d, Pred))
         set_(self, "reg_dsts", reg_dsts)
         set_(self, "reg_srcs", reg_srcs)
-        set_(self, "pred_dsts",
-             tuple(d for d in self.dsts if isinstance(d, Pred)))
+        set_(self, "pred_dsts", pred_dsts)
         set_(self, "pred_srcs", tuple(pred_srcs))
         set_(self, "regs", reg_srcs + reg_dsts)
+        info = self.opcode.info
+        set_(self, "info", info)
+        set_(self, "is_mem", info.unit is FuncUnit.MEM)
+        set_(self, "latency", info.latency)
+        set_(self, "reg_idx", tuple(r.index for r in reg_srcs + reg_dsts))
+        set_(self, "src_idx", tuple(r.index for r in reg_srcs))
+        set_(self, "dst_idx", tuple(r.index for r in reg_dsts))
+        set_(self, "pred_idx",
+             tuple(p.index for p in tuple(pred_srcs) + pred_dsts))
+        set_(self, "pred_dst_idx", tuple(p.index for p in pred_dsts))
+        set_(self, "exec_plan", None)
+
+    # ``exec_plan`` holds closures (unpicklable, and meaningless outside
+    # the process that built them); pickling drops it and unpickling
+    # restores an empty cache slot.
+    def __getstate__(self):
+        return {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+            if name != "exec_plan"
+        }
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple):  # pre-cache-slot pickles: (None, slots)
+            state = state[1] or {}
+        set_ = object.__setattr__
+        for name, value in state.items():
+            if name != "exec_plan":
+                set_(self, name, value)
+        set_(self, "exec_plan", None)
 
     @property
     def is_guarded(self) -> bool:

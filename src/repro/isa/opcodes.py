@@ -86,13 +86,11 @@ class Opcode(enum.Enum):
     BAR = "bar"
     EXIT = "exit"
 
-    @property
-    def info(self) -> OpInfo:
-        return OPCODE_INFO[self]
-
-    @property
-    def is_global_load(self) -> bool:
-        return self is Opcode.LDG
+    # ``info`` and ``is_global_load`` are plain member attributes, assigned
+    # right below OPCODE_INFO: they are the simulator's hottest fields and
+    # a property would redo a descriptor call + dict lookup on every access.
+    info: OpInfo
+    is_global_load: bool
 
     @property
     def is_memory(self) -> bool:
@@ -139,3 +137,8 @@ OPCODE_INFO: dict = {
     Opcode.BAR: OpInfo(_CTRL, 2, is_barrier=True),
     Opcode.EXIT: OpInfo(_CTRL, 1, is_exit=True),
 }
+
+for _op in Opcode:
+    _op.info = OPCODE_INFO[_op]
+    _op.is_global_load = _op is Opcode.LDG
+del _op

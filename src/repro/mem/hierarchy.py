@@ -30,6 +30,10 @@ Callback = Optional[Callable[[], None]]
 class MemoryHierarchy:
     """L2 cache + DRAM shared by all SMs."""
 
+    #: request kinds (pre-resolving the per-kind counter names keeps
+    #: f-string formatting off the per-request hot path).
+    KINDS = ("data", "reg")
+
     def __init__(self, config: GPUConfig, counters: Counters, wheel: EventWheel):
         self.config = config
         self.counters = counters
@@ -40,6 +44,13 @@ class MemoryHierarchy:
         )
         self._dram_tokens = 0.0
         self._icnt_budget = [0.0] * config.n_sms
+        #: total queued requests across all SMs — the demand clock: the run
+        #: loop only calls :meth:`cycle` while this is non-zero and banks
+        #: the skipped cycles for :meth:`credit_idle`.
+        self.pending_total = 0
+        self._c_icnt = {k: f"icnt_{k}" for k in self.KINDS}
+        self._c_l2_access = {k: f"l2_{k}_access" for k in self.KINDS}
+        self._c_dram_read = {k: f"dram_{k}_read" for k in self.KINDS}
 
     # -- request entry points -------------------------------------------------
 
@@ -53,16 +64,37 @@ class MemoryHierarchy:
     ) -> None:
         """Queue one line request from an SM (data or register traffic)."""
         self._queues[sm_id].append((addr, is_write, callback, kind))
-        self.counters.inc(f"icnt_{kind}")
+        self.pending_total += 1
+        self.counters.inc(self._c_icnt[kind])
 
     def pending_requests(self, sm_id: int) -> int:
         return len(self._queues[sm_id])
 
     @property
     def busy(self) -> bool:
-        return any(self._queues)
+        return self.pending_total > 0
 
     # -- per-cycle pump -----------------------------------------------------------
+
+    def credit_idle(self, idle_cycles: int) -> None:
+        """Regenerate token budgets for ``idle_cycles`` elided pump cycles.
+
+        While every queue is empty no tokens can be consumed, so the
+        per-cycle saturating regeneration has the closed form
+        ``min(x + rate * k, cap)`` — bit-identical to ``k`` individual
+        pumps because every quantity is a multiple of 0.25 (exact in
+        binary floating point) and the caps clamp identically.  ``k`` is
+        clamped at 8: both buckets saturate within 8 cycles.
+        """
+        k = idle_cycles if idle_cycles < 8 else 8
+        cfg = self.config
+        self._dram_tokens = min(
+            self._dram_tokens + cfg.dram_lines_per_cycle * k, 8.0
+        )
+        icnt = self._icnt_budget
+        regen = cfg.icnt_per_sm * k
+        for sm_id in range(len(icnt)):
+            icnt[sm_id] = min(icnt[sm_id] + regen, 4.0)
 
     def cycle(self) -> None:
         self._dram_tokens = min(
@@ -76,6 +108,7 @@ class MemoryHierarchy:
                 if not self._service(queue[0]):
                     break  # head-of-line blocked on DRAM bandwidth
                 queue.popleft()
+                self.pending_total -= 1
                 self._icnt_budget[sm_id] -= 1.0
 
     def _service(self, request) -> bool:
@@ -83,7 +116,7 @@ class MemoryHierarchy:
         cfg = self.config
         hit = self.l2.lookup(addr)
         self.counters.inc("l2_access")
-        self.counters.inc(f"l2_{kind}_access")
+        self.counters.inc(self._c_l2_access[kind])
 
         if is_write:
             # Posted full-line write: allocate dirty without fetching.
@@ -109,7 +142,7 @@ class MemoryHierarchy:
         self._dram_tokens -= 1.0
         self.counters.inc("l2_miss")
         self.counters.inc("dram_read")
-        self.counters.inc(f"dram_{kind}_read")
+        self.counters.inc(self._c_dram_read[kind])
         victim = self.l2.fill(addr, dirty=False)
         if victim is not None and victim.dirty:
             self.counters.inc("dram_write")

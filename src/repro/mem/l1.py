@@ -40,18 +40,36 @@ class L1RegCache:
         self.cache = SetAssocCache(config.l1_lines, config.l1_assoc, config.line_bytes)
         self.mshrs = MSHRFile(config.l1_mshrs)
         self._port_used = 0
+        self._port_cycle = -1
 
     # -- port management: one request per cycle --------------------------------
+    #
+    # The port is cycle-stamped rather than reset by a per-cycle call: the
+    # use count only counts against the limit while the stamp matches
+    # ``wheel.now``, so an idle L1 costs nothing per cycle (component
+    # clocking contract, docs/performance.md).
 
     def begin_cycle(self) -> None:
+        """Explicit port reset for external drivers that do not advance the
+        wheel between cycles (unit tests); the simulator relies on the
+        cycle stamp instead."""
+        self._port_cycle = self.wheel.now
         self._port_used = 0
 
     @property
     def port_free(self) -> bool:
-        return self._port_used < self.config.l1_ports
+        return (
+            self._port_used < self.config.l1_ports
+            or self._port_cycle != self.wheel.now
+        )
 
     def _take_port(self) -> None:
-        self._port_used += 1
+        now = self.wheel.now
+        if self._port_cycle != now:
+            self._port_cycle = now
+            self._port_used = 1
+        else:
+            self._port_used += 1
 
     # -- register-space operations ------------------------------------------------
 

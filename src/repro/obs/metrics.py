@@ -31,20 +31,38 @@ class MetricScope:
     ``observe`` add the richer metric kinds.
     """
 
-    __slots__ = ("registry", "path")
+    __slots__ = ("registry", "path", "_full_names", "_legacy_counts")
 
     def __init__(self, registry: "MetricsRegistry", path: str):
         self.registry = registry
         self.path = path
+        #: name -> full path, built lazily (inc is a hot path; the f-string
+        #: must not run on every event).
+        self._full_names: Dict[str, str] = {}
+        #: the legacy Counters' backing defaultdict, or None — inc mirrors
+        #: into it directly rather than through a method call per event.
+        legacy = registry.legacy
+        self._legacy_counts = legacy._counts if legacy is not None else None
 
     def _full(self, name: str) -> str:
-        return f"{self.path}.{name}" if self.path else name
+        full = self._full_names.get(name)
+        if full is None:
+            full = f"{self.path}.{name}" if self.path else name
+            self._full_names[name] = full
+        return full
 
     # -- Counters-compatible surface ----------------------------------------
 
     def inc(self, name: str, amount: float = 1.0) -> None:
         """Count an event under this component (and its legacy alias)."""
-        self.registry.inc(self._full(name), amount, legacy=name)
+        full = self._full_names.get(name)
+        if full is None:
+            full = self._full(name)
+        counters = self.registry.counters
+        counters[full] = counters.get(full, 0.0) + amount
+        legacy = self._legacy_counts
+        if legacy is not None:
+            legacy[name] += amount
 
     def get(self, name: str) -> float:
         """This component's count (NOT the legacy aggregate)."""

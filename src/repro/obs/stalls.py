@@ -131,8 +131,11 @@ class ShardStallTracker:
         occupancy = self._occupancy
         for reason, count in last.items():
             bins[reason] = bins.get(reason, 0) + count * n
-            hist = occupancy.setdefault(reason, {})
-            hist[count] = hist.get(count, 0) + n
+            hist = occupancy.get(reason)
+            if hist is None:
+                occupancy[reason] = {count: n}
+            else:
+                hist[count] = hist.get(count, 0) + n
 
     # -- queries --------------------------------------------------------------
 

@@ -95,14 +95,34 @@ class OperandStorage:
         """Called once when a warp executes EXIT."""
 
     # -- background ------------------------------------------------------------------
+    #
+    # Component clocking contract (docs/performance.md): the shard calls
+    # :meth:`cycle` only on cycles where :meth:`has_work` is True, so a
+    # storage must answer ``has_work`` from O(1) state and must re-arm it
+    # (return True again) from the same entry points that enqueue new
+    # background work.  Skipped cycles must be side-effect free: whatever
+    # ``cycle`` would have done on them, lazily accruable or nothing.
 
     def cycle(self) -> None:
         """Per-cycle background work (preload queues, capacity manager)."""
 
+    def has_work(self, now: int) -> bool:
+        """Would :meth:`cycle` do anything at cycle ``now``?  The shard
+        skips the call when False; a storage whose cycle hook is ever
+        non-idempotent must make this exact, not merely conservative."""
+        return False
+
+    def on_fast_forward(self, cycles: int) -> None:
+        """``cycles`` dead cycles were elided by the simulator's
+        fast-forward (no ``cycle`` calls happened for them, matching the
+        per-cycle reference, which also never cycled storages during a
+        skip).  Storages holding wall-clock deadlines measured in *called*
+        cycles (the capacity manager's emergency counter) shift them here."""
+
     @property
     def idle(self) -> bool:
         """True when the storage has no background work outstanding (used by
-        the simulator's fast-forward optimization)."""
+        the simulator's fast-forward optimization).  Must be O(1)."""
         return True
 
     # -- end-of-run ---------------------------------------------------------------------

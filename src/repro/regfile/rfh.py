@@ -36,6 +36,10 @@ __all__ = ["RFHStorage", "assign_levels", "LevelAssignment"]
 
 LRF, ORF, MRF = "lrf", "orf", "mrf"
 
+#: per-level access counter names, resolved once (issue/write-back hot path).
+_C_READ = {lvl: f"rfh_{lvl}_read" for lvl in (LRF, ORF)}
+_C_WRITE = {lvl: f"rfh_{lvl}_write" for lvl in (LRF, ORF)}
+
 
 @dataclass(frozen=True)
 class LevelAssignment:
@@ -145,7 +149,7 @@ class RFHStorage(CTAOccupancyMixin, OperandStorage):
             if level == MRF:
                 self.counters.inc("rf_read")
             else:
-                self.counters.inc(f"rfh_{level}_read")
+                self.counters.inc(_C_READ[level])
 
     def on_writeback(self, warp: "Warp", pc: int, insn: Instruction) -> None:
         write_level = self.assignment.write_level
@@ -155,6 +159,6 @@ class RFHStorage(CTAOccupancyMixin, OperandStorage):
             if level == MRF:
                 self.counters.inc("rf_write")
             else:
-                self.counters.inc(f"rfh_{level}_write")
+                self.counters.inc(_C_WRITE[level])
             if key in self.assignment.writethrough:
                 self.counters.inc("rf_write")

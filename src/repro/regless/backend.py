@@ -89,6 +89,44 @@ class ReglessStorage(OperandStorage):
         # Admission progress (INACTIVE→PRELOADING→ACTIVE) re-admits parked
         # warps to the shard's ready set.
         self.cm.wake = self.notify_wake
+        self._wheel = sm.wheel
+
+        # Per-pc annotation tables, flattened to register-index tuples so
+        # the issue/write-back hooks don't re-resolve region + dict lookups
+        # per dynamic instruction.  pcs outside any region keep empty
+        # actions (they can never issue under RegLess anyway).
+        compiled = self.compiled
+        n = compiled.kernel.num_instructions
+        erase_i, evict_i, erase_w, evict_w, last = [], [], [], [], []
+        for pc in range(n):
+            try:
+                ann = compiled.annotations_of_pc(pc)
+                is_last = compiled.is_region_end(pc)
+            except KeyError:
+                ann, is_last = None, False
+            if ann is None:
+                erase_i.append(())
+                evict_i.append(())
+                erase_w.append(())
+                evict_w.append(())
+            else:
+                erase_i.append(tuple(r.index for r in ann.erase_at.get(pc, ())))
+                evict_i.append(tuple(r.index for r in ann.evict_at.get(pc, ())))
+                erase_w.append(
+                    tuple(r.index for r in ann.erase_on_write.get(pc, ()))
+                )
+                evict_w.append(
+                    tuple(r.index for r in ann.evict_on_write.get(pc, ()))
+                )
+            last.append(is_last)
+        self._pc_erase = erase_i
+        self._pc_evict = evict_i
+        self._pc_erase_w = erase_w
+        self._pc_evict_w = evict_w
+        # can_issue guarantees the active region contains pc, and regions
+        # partition pcs — so "last pc of the warp's active region" is the
+        # static "last pc of the region owning pc".
+        self._pc_region_last = last
 
     def _value_of(self, warp_id: int, reg: int) -> LaneValues:
         warp = self._warp_by_id.get(warp_id)
@@ -112,9 +150,10 @@ class ReglessStorage(OperandStorage):
         region not staged, preloads in flight, or preload head-of-line
         blocked at the L1 request port."""
         assert self.cm is not None and self.osu is not None
-        state = self.cm.state_of(warp.wid)
+        ctx = self.cm.ctx[warp.wid]
+        state = ctx.state
         if state is WarpState.ACTIVE:
-            region = self.cm.active_region(warp.wid)
+            region = ctx.region
             if region is not None and region.contains_pc(pc):
                 return None
             return "cm_inactive"
@@ -131,36 +170,31 @@ class ReglessStorage(OperandStorage):
         return self.cm.consume_metadata(warp, pc)
 
     def on_issue(self, warp: Warp, pc: int, insn: Instruction) -> None:
-        assert self.osu is not None and self.cm is not None
         osu = self.osu
         wid = warp.wid
-        for r in insn.reg_srcs:
-            osu.read(wid, r.index)
-        for r in insn.reg_dsts:
-            osu.reserve_write(wid, r.index)
+        for i in insn.src_idx:
+            osu.read(wid, i)
+        for i in insn.dst_idx:
+            osu.reserve_write(wid, i)
 
-        ann = self.compiled.annotations_of_pc(pc)
-        for r in ann.erase_at.get(pc, ()):
-            osu.erase(wid, r.index)
-        for r in ann.evict_at.get(pc, ()):
-            osu.mark_evictable(wid, r.index)
+        for i in self._pc_erase[pc]:
+            osu.erase(wid, i)
+        for i in self._pc_evict[pc]:
+            osu.mark_evictable(wid, i)
 
-        region = self.cm.active_region(wid)
-        if region is not None and pc == region.end_pc - 1 and not warp.exited:
-            self.cm.on_last_issue(warp, self.now)
+        if self._pc_region_last[pc] and not warp.exited:
+            self.cm.on_last_issue(warp, self._wheel.now)
 
     def on_writeback(self, warp: Warp, pc: int, insn: Instruction) -> None:
-        assert self.osu is not None and self.cm is not None
         osu = self.osu
         wid = warp.wid
-        for r in insn.reg_dsts:
-            osu.complete_write(wid, r.index)
-        ann = self.compiled.annotations_of_pc(pc)
-        for r in ann.erase_on_write.get(pc, ()):
-            osu.erase(wid, r.index)
-        for r in ann.evict_on_write.get(pc, ()):
-            osu.mark_evictable(wid, r.index)
-        self.cm.on_writeback(warp, self.now)
+        for i in insn.dst_idx:
+            osu.complete_write(wid, i)
+        for i in self._pc_erase_w[pc]:
+            osu.erase(wid, i)
+        for i in self._pc_evict_w[pc]:
+            osu.mark_evictable(wid, i)
+        self.cm.on_writeback(warp, self._wheel.now)
 
     def on_warp_exit(self, warp: Warp) -> None:
         assert self.osu is not None and self.cm is not None
@@ -171,8 +205,17 @@ class ReglessStorage(OperandStorage):
 
     def cycle(self) -> None:
         assert self.osu is not None and self.cm is not None
-        self.cm.cycle(self.now)
-        self.osu.cycle()
+        now = self.now
+        if self.cm.needs_cycle(now):
+            self.cm.cycle(now)
+        if self.osu.work_pending:
+            self.osu.cycle()
+
+    def has_work(self, now: int) -> bool:
+        return self.osu.work_pending or self.cm.needs_cycle(now)
+
+    def on_fast_forward(self, cycles: int) -> None:
+        self.cm.on_fast_forward(cycles)
 
     @property
     def idle(self) -> bool:

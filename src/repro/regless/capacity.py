@@ -32,6 +32,9 @@ from .osu import OperandStagingUnit
 
 __all__ = ["WarpState", "CapacityManager"]
 
+#: "no deadline" sentinel for the blocked-memo wake-up cycles.
+_NEVER = float("inf")
+
 
 class WarpState(enum.Enum):
     INACTIVE = "inactive"
@@ -80,6 +83,23 @@ class CapacityManager:
         #: total reservation per bank across all active/preloading regions.
         self.reserved: List[int] = [0] * config.banks_per_shard
         self._stall_cycles = 0
+        #: warps currently PRELOADING (O(1) ``idle``).
+        self._preloading_count = 0
+        # Blocked-candidate memo (demand clock): when the top candidate does
+        # not fit, nothing this CM could do on later cycles changes the
+        # outcome until either (a) capacity/stack state mutates — every such
+        # mutator calls :meth:`_invalidate_memo` — or (b) a wheel-time
+        # deadline passes (candidate aging, emergency activation).  While
+        # the memo holds, :meth:`needs_cycle` is False and the elided
+        # blocked calls are accrued into ``_stall_cycles`` in closed form.
+        self._memo_blocked = False
+        #: last cycle whose (would-be) blocked call is already reflected in
+        #: ``_stall_cycles``.
+        self._accrued_to = 0
+        #: wheel cycle at which aging switches the candidate pick.
+        self._aging_at = _NEVER
+        #: cycle at which the emergency-activation threshold is reached.
+        self._emergency_at = _NEVER
         # Dynamic region statistics (Table 2).
         self.region_executions = 0
         self.region_cycles_total = 0
@@ -119,15 +139,61 @@ class CapacityManager:
     @property
     def idle(self) -> bool:
         """No activation can be pending without an external event."""
-        return not any(
-            c.state is WarpState.PRELOADING for c in self.ctx.values()
-        )
+        return self._preloading_count == 0
 
     # -- per-cycle admission -----------------------------------------------------------
+
+    def needs_cycle(self, now: int) -> bool:
+        """Would :meth:`cycle` do (or account) anything at ``now``?  O(1).
+        False only while the blocked-candidate memo holds and neither
+        wake-up deadline has passed."""
+        if not self.stack:
+            return False
+        if self._memo_blocked:
+            return now >= self._aging_at or now >= self._emergency_at
+        return True
+
+    def _set_state(self, ctx: _WarpCtx, new: WarpState) -> None:
+        old = ctx.state
+        if old is not new:
+            if old is WarpState.PRELOADING:
+                self._preloading_count -= 1
+            elif new is WarpState.PRELOADING:
+                self._preloading_count += 1
+            ctx.state = new
+
+    def _invalidate_memo(self, horizon: int) -> None:
+        """Capacity/stack state is about to change: settle the lazily
+        accrued blocked calls up to ``horizon`` (inclusive) and re-arm
+        per-cycle admission."""
+        if self._memo_blocked:
+            gap = horizon - self._accrued_to
+            if gap > 0:
+                self._stall_cycles += gap
+            self._memo_blocked = False
+
+    def on_fast_forward(self, cycles: int) -> None:
+        """``cycles`` dead cycles were skipped with no :meth:`cycle` calls
+        (matching the per-cycle reference, which never cycled storages
+        during a skip): shift the called-cycle accounting across the gap.
+        Aging is wheel-time and deliberately not shifted."""
+        if self._memo_blocked:
+            self._accrued_to += cycles
+            if self._emergency_at is not _NEVER:
+                self._emergency_at += cycles
 
     def cycle(self, now: int) -> None:
         if not self.stack:
             return
+        if self._memo_blocked:
+            # Settle the skipped blocked calls (cycles _accrued_to+1 ..
+            # now-1 — each would have failed the same fit test); this call
+            # then re-runs the test for ``now`` with fresh state.  Zero gap
+            # when no cycle was actually skipped (direct per-cycle callers).
+            self._memo_blocked = False
+            gap = (now - 1) - self._accrued_to
+            if gap > 0:
+                self._stall_cycles += gap
         wid = self._pick_candidate(now)
         warp = self.warps[wid]
         if warp.exited:
@@ -169,13 +235,14 @@ class CapacityManager:
                 emergency = True
                 self.counters.inc("osu_overflow_activation")
             else:
+                self._arm_blocked_memo(now)
                 return
         self._stall_cycles = 0
 
         # Reserve and start preloading.
         for b, need in enumerate(rotated):
             self.reserved[b] += need
-        ctx.state = WarpState.PRELOADING
+        self._set_state(ctx, WarpState.PRELOADING)
         ctx.region = region
         ctx.reserved = rotated
         ctx.activated_at = now
@@ -201,6 +268,28 @@ class CapacityManager:
             # though it cannot issue yet.
             self.wake(warp)
 
+    def _arm_blocked_memo(self, now: int) -> None:
+        """The candidate did not fit at ``now``; compute when a repeat of
+        this exact test could first decide differently with unchanged
+        state."""
+        self._memo_blocked = True
+        self._accrued_to = now
+        # Emergency activation fires when the per-(called-)cycle stall
+        # counter reaches the threshold.
+        self._emergency_at = now + (self.config.emergency_cycles - self._stall_cycles)
+        # Candidate aging: the pick switches to the longest-waiting warp
+        # once its wait exceeds the threshold — a wheel-time deadline.  If
+        # aging already picked this candidate, only state changes (or the
+        # emergency) can help.
+        if not self.config.warp_stack_lifo:
+            self._aging_at = _NEVER
+        else:
+            oldest_since = min(
+                self.ctx[w].inactive_since for w in self.stack
+            )
+            aging_at = oldest_since + self.config.activation_aging_cycles + 1
+            self._aging_at = aging_at if now < aging_at else _NEVER
+
     def _pick_candidate(self, now: int) -> int:
         """Normally the stack top (most recently drained: its inputs are the
         most likely to still be staged).  To prevent capacity starvation —
@@ -223,7 +312,7 @@ class CapacityManager:
 
     def _activate(self, wid: int) -> None:
         ctx = self.ctx[wid]
-        ctx.state = WarpState.ACTIVE
+        self._set_state(ctx, WarpState.ACTIVE)
         wheel = getattr(self.osu, "wheel", None)
         if wheel is not None:
             ctx.active_at = wheel.now
@@ -248,9 +337,10 @@ class CapacityManager:
         immediately — e.g. a region ending in a global load keeps only the
         load's destination entry reserved while the value is in flight
         (paper section 5.1)."""
+        self._invalidate_memo(now)
         ctx = self.ctx[warp.wid]
         ctx.last_issue_done = True
-        ctx.state = WarpState.DRAINING
+        self._set_state(ctx, WarpState.DRAINING)
         ctx.drain_at = now
         if warp.inflight == 0:
             self._finish_region(warp, now)
@@ -274,6 +364,9 @@ class CapacityManager:
     def on_writeback(self, warp: Warp, now: int) -> None:
         ctx = self.ctx[warp.wid]
         if ctx.state is WarpState.DRAINING and warp.inflight == 0:
+            # Write-backs fire in wheel-tick context, before this cycle's
+            # admission pass — the memo settles only through ``now - 1``.
+            self._invalidate_memo(now - 1)
             self._finish_region(warp, now)
 
     def _finish_region(self, warp: Warp, now: int) -> None:
@@ -293,13 +386,14 @@ class CapacityManager:
         ctx.region = None
         ctx.reserved = None
         if warp.exited:
-            ctx.state = WarpState.FINISHED
+            self._set_state(ctx, WarpState.FINISHED)
             return
-        ctx.state = WarpState.INACTIVE
+        self._set_state(ctx, WarpState.INACTIVE)
         ctx.inactive_since = now
         self.stack.append(warp.wid)  # most-recent on top
 
     def on_warp_exit(self, warp: Warp, now: int) -> None:
+        self._invalidate_memo(now)
         ctx = self.ctx[warp.wid]
         self._drop_from_stack(warp.wid)
         if ctx.state in (WarpState.ACTIVE, WarpState.DRAINING, WarpState.PRELOADING):
@@ -307,11 +401,11 @@ class CapacityManager:
             # ignored gracefully by the OSU.
             if warp.inflight == 0:
                 self._finish_region(warp, now)
-                ctx.state = WarpState.FINISHED
+                self._set_state(ctx, WarpState.FINISHED)
             else:
-                ctx.state = WarpState.DRAINING
+                self._set_state(ctx, WarpState.DRAINING)
         else:
-            ctx.state = WarpState.FINISHED
+            self._set_state(ctx, WarpState.FINISHED)
 
     def mean_region_cycles(self) -> float:
         if self.region_executions == 0:

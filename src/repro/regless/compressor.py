@@ -72,6 +72,8 @@ class Compressor:
         self._cache: "OrderedDict[int, bool]" = OrderedDict()
         #: per-cycle port (one compression/decompression per cycle).
         self._port_used = False
+        #: per-pattern store counters, resolved once (hot path).
+        self._c_pattern = {p: f"compress_{p}" for p in COMPRESS_PATTERNS}
 
     # -- per-cycle port ---------------------------------------------------------
 
@@ -142,7 +144,7 @@ class Compressor:
             self._reconcile_line(slot)
             return False, None
         self.counters.inc("compressor_store")
-        self.counters.inc(f"compress_{pattern}")
+        self.counters.inc(self._c_pattern[pattern])
         self._bitvec.add(slot)
         addr = self.mapping.compressed_address(reg_index, warp_id)
         victim = self._insert(addr, dirty=True)

@@ -194,9 +194,16 @@ class OperandStagingUnit:
             Bank(config.lines_per_bank, config.ordered_eviction)
             for _ in range(config.banks_per_shard)
         ]
+        self._n_banks = len(self.banks)
         self._preload_q: List[Deque[_PreloadJob]] = [
             deque() for _ in range(config.banks_per_shard)
         ]
+        #: queued preload jobs across all banks (O(1) work test; jobs that
+        #: left the queue for the MSHR "wait" stage are excluded — their
+        #: completion is wheel-event-backed, not pump-driven).
+        self._preload_pending = 0
+        #: banks with a non-empty preload queue; the pump walks only these.
+        self._active_banks: set = set()
         #: (key, value) register evictions awaiting the compressor/L1.
         self._evict_q: Deque[Tuple[Key, LaneValues]] = deque()
         #: dirty compressed lines awaiting an L1 store slot.
@@ -208,6 +215,11 @@ class OperandStagingUnit:
         #: (thread ids, kernel parameters) served like compressed constants
         #: by the launch mechanism, not fetched from DRAM.
         self._materialized: set = set()
+        #: per-source preload counters, resolved once (hot path).
+        self._c_preload_src = {
+            s: f"preload_src_{s}"
+            for s in ("osu", "const", "compressor", "l1", "l2dram")
+        }
 
     # -- geometry -------------------------------------------------------------
 
@@ -229,7 +241,8 @@ class OperandStagingUnit:
 
     def read(self, warp_id: int, reg: int) -> None:
         self.counters.inc("osu_read")
-        if not self.bank(warp_id, reg).has((warp_id, reg)):
+        bank = self.banks[(warp_id + reg) % self._n_banks]
+        if (warp_id, reg) not in bank.tags:
             # Should not happen when annotations are correct; visible in
             # tests as a hard invariant.
             self.counters.inc("osu_read_miss")
@@ -238,8 +251,8 @@ class OperandStagingUnit:
         """Allocate the destination entry at issue time (section 5.2.1:
         interior registers get space at their first write)."""
         key = (warp_id, reg)
-        bank = self.bank(warp_id, reg)
-        if bank.has(key):
+        bank = self.banks[(warp_id + reg) % self._n_banks]
+        if key in bank.tags:
             bank.acquire(key)
             return
         _, victim = bank.allocate(key)
@@ -250,13 +263,15 @@ class OperandStagingUnit:
 
     def complete_write(self, warp_id: int, reg: int) -> None:
         self.counters.inc("osu_write")
-        self.bank(warp_id, reg).mark_dirty((warp_id, reg))
+        self.banks[(warp_id + reg) % self._n_banks].mark_dirty((warp_id, reg))
 
     def erase(self, warp_id: int, reg: int) -> None:
-        self.bank(warp_id, reg).erase((warp_id, reg))
+        self.banks[(warp_id + reg) % self._n_banks].erase((warp_id, reg))
 
     def mark_evictable(self, warp_id: int, reg: int) -> None:
-        victim = self.bank(warp_id, reg).mark_evictable((warp_id, reg))
+        victim = self.banks[
+            (warp_id + reg) % self._n_banks
+        ].mark_evictable((warp_id, reg))
         if victim is not None:
             # Overflow reclaim of a dirty line: write it back like any
             # other dirty eviction.
@@ -270,9 +285,10 @@ class OperandStagingUnit:
     # -- preload / invalidate entry points ---------------------------------------------
 
     def enqueue_preload(self, warp_id: int, reg: int, invalidate: bool) -> None:
-        self._preload_q[self.bank_of(warp_id, reg)].append(
-            _PreloadJob(warp_id, reg, invalidate)
-        )
+        bank_id = self.bank_of(warp_id, reg)
+        self._preload_q[bank_id].append(_PreloadJob(warp_id, reg, invalidate))
+        self._preload_pending += 1
+        self._active_banks.add(bank_id)
 
     def enqueue_invalidate(self, warp_id: int, reg: int) -> None:
         self._inval_q.append((warp_id, reg))
@@ -292,20 +308,39 @@ class OperandStagingUnit:
     # -- per-cycle pump -----------------------------------------------------------------
 
     def cycle(self) -> None:
-        self.compressor.begin_cycle()
-        for bank_id in range(len(self.banks)):
-            self._pump_preloads(bank_id)
+        # Only the preload and eviction pumps touch the compressor port;
+        # opening its cycle when neither has work would be a silent no-op.
+        if self._preload_pending or self._evict_q:
+            self.compressor.begin_cycle()
+        if self._preload_pending:
+            # Ascending bank order matches the seed's range() walk; sorted()
+            # copies, so pumps may discard drained banks mid-iteration.
+            # Preloads are enqueued by the CM (which cycles before the OSU),
+            # never by the pumps themselves, so the set cannot grow here.
+            for bank_id in sorted(self._active_banks):
+                self._pump_preloads(bank_id)
         self._pump_evictions()
         self._pump_line_stores()
         self._pump_invalidations()
 
     @property
+    def work_pending(self) -> bool:
+        """Would :meth:`cycle` do anything?  O(1); jobs in the MSHR
+        ``wait`` stage complete via wheel events, not the pump."""
+        return bool(
+            self._preload_pending
+            or self._evict_q
+            or self._line_store_q
+            or self._inval_q
+        )
+
+    @property
     def idle(self) -> bool:
-        return (
-            not any(self._preload_q)
-            and not self._evict_q
-            and not self._line_store_q
-            and not self._inval_q
+        return not (
+            self._preload_pending
+            or self._evict_q
+            or self._line_store_q
+            or self._inval_q
         )
 
     # -- preload pipeline ------------------------------------------------------------------
@@ -375,6 +410,9 @@ class OperandStagingUnit:
                 # The request is in the memory system (MSHR); free the bank
                 # queue so later preloads are not head-of-line blocked.
                 queue.popleft()
+                self._preload_pending -= 1
+                if not queue:
+                    self._active_banks.discard(bank_id)
             return
 
     def _l1_arrived(self, bank_id: int, job: _PreloadJob, src: str) -> None:
@@ -401,9 +439,13 @@ class OperandStagingUnit:
         queue = self._preload_q[bank_id]
         if queue and queue[0] is job:
             queue.popleft()
+            self._preload_pending -= 1
         elif job in queue:  # defensive; waiting jobs were already dequeued
             queue.remove(job)
-        self.counters.inc(f"preload_src_{source}")
+            self._preload_pending -= 1
+        if not queue:
+            self._active_banks.discard(bank_id)
+        self.counters.inc(self._c_preload_src[source])
         self.counters.inc("preloads")
         if job.invalidate:
             # Invalidating read: the memory copy dies with this preload.

@@ -23,11 +23,24 @@ class EventWheel:
     def at(self, cycle: int, fn: Callable[[], None]) -> None:
         if cycle <= self.now:
             raise ValueError(f"cannot schedule at {cycle} <= now {self.now}")
-        self._buckets.setdefault(cycle, []).append(fn)
+        bucket = self._buckets.get(cycle)
+        if bucket is None:
+            self._buckets[cycle] = [fn]
+        else:
+            bucket.append(fn)
         self._pending += 1
 
     def after(self, delay: int, fn: Callable[[], None]) -> None:
-        self.at(self.now + max(1, int(delay)), fn)
+        # Inlined ``at`` (this is the write-back hot path); cycle > now by
+        # construction since delay is clamped to >= 1.
+        delay = int(delay)
+        cycle = self.now + (delay if delay > 0 else 1)
+        bucket = self._buckets.get(cycle)
+        if bucket is None:
+            self._buckets[cycle] = [fn]
+        else:
+            bucket.append(fn)
+        self._pending += 1
 
     def tick(self) -> None:
         """Advance one cycle and fire its events."""
@@ -37,6 +50,18 @@ class EventWheel:
             self._pending -= len(bucket)
             for fn in bucket:
                 fn()
+
+    def skip_to(self, cycle: int) -> None:
+        """Bulk-advance ``now`` to ``cycle`` without ticking — O(1).
+
+        The caller must guarantee no bucket exists in ``(now, cycle]``
+        (the fast-forward path jumps to just before
+        :meth:`next_event_cycle`, so every skipped bucket is empty by
+        construction).  Events and time observers see exactly the state a
+        tick-by-tick spin over empty buckets would have produced.
+        """
+        if cycle > self.now:
+            self.now = cycle
 
     def next_event_cycle(self) -> Optional[int]:
         """The earliest cycle with a scheduled event, or ``None`` when the

@@ -115,6 +115,10 @@ class GPU:
         cfg = self.config
         wheel = self.wheel
         sms = self.sms
+        # Pre-bound SM pumps (resolved once, not per cycle).  Bound at run
+        # start so instance-level wrappers installed beforehand (e.g.
+        # harness.inspect.StateSampler) are honored.
+        sm_cycles = [sm.cycle for sm in sms]
         hierarchy = self.hierarchy
         storages = self._storages
         counters = self.counters
@@ -130,6 +134,9 @@ class GPU:
         window = cfg.working_set_window
         next_window = window
         idle_cycles = 0
+        #: pump cycles elided while the hierarchy had no queued request;
+        #: credited (closed-form token regeneration) before its next pump.
+        hierarchy_idle = 0
 
         def sample_window() -> None:
             # Window sampling (Figures 2 and 3); shared by the normal and
@@ -152,16 +159,25 @@ class GPU:
                 break
 
             wheel.tick()
-            hierarchy.cycle()
+            # Demand-clocked pump: with no queued request the hierarchy can
+            # only regenerate tokens, which accrues in closed form — bank
+            # the cycle instead of calling in.
+            if hierarchy.pending_total:
+                if hierarchy_idle:
+                    hierarchy.credit_idle(hierarchy_idle)
+                    hierarchy_idle = 0
+                hierarchy.cycle()
+            else:
+                hierarchy_idle += 1
             issued = 0
-            for sm in sms:
-                issued += sm.cycle()
+            for sm_cycle in sm_cycles:
+                issued += sm_cycle()
             instructions += issued
 
             if wheel.now >= next_window:
                 sample_window()
 
-            if issued or hierarchy.busy or not all(st.idle for st in storages):
+            if issued or hierarchy.pending_total or not all(st.idle for st in storages):
                 idle_cycles = 0
                 continue
 
@@ -181,19 +197,23 @@ class GPU:
                     if idle_cycles > 10_000:
                         self._raise_deadlock()
                 else:
-                    # Fast-forward straight to the next scheduled event.
+                    # Fast-forward straight to the next scheduled event:
+                    # an O(1) bulk jump — every bucket in the span is empty
+                    # by construction, so ticking through them one by one
+                    # observed nothing.
                     idle_cycles = 0
                     skip_to = min(nxt - 1, max_cycles)
-                    skipped = 0
-                    while wheel.now < skip_to:
-                        wheel.tick()  # empty buckets: O(1)
-                        skipped += 1
-                        if wheel.now >= next_window:
+                    skipped = skip_to - wheel.now
+                    if skipped > 0:
+                        wheel.skip_to(skip_to)
+                        # Window boundaries inside the span sample the same
+                        # (unchanged) state the per-tick loop saw: the first
+                        # takes the real deltas, the rest read zeros.
+                        while next_window <= wheel.now:
                             sample_window()
-                    if skipped:
                         # Skipped cycles replay the dead cycle's stall
-                        # bins (no state changes while the wheel spins
-                        # over empty buckets), keeping the attribution
+                        # bins (no state changes while time jumps over
+                        # empty buckets), keeping the attribution
                         # conservative over the full cycle count.
                         for sm in sms:
                             sm.account_skipped(skipped)

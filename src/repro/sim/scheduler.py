@@ -96,6 +96,14 @@ class WarpScheduler:
 
     # -- event-driven API -----------------------------------------------------
 
+    @property
+    def quiescent(self) -> bool:
+        """True when :meth:`begin_cycle` would be a no-op, so the shard's
+        idle fast path may skip it (demand clocking).  Schedulers with
+        deferred per-cycle maintenance (two-level purge-and-promote)
+        return False while it is pending."""
+        return True
+
     def begin_cycle(self, cycle: int) -> None:
         """Per-cycle state update before wake-ups and the issue scan."""
 
@@ -249,10 +257,21 @@ class GTOScheduler(WarpScheduler):
 
     def notify_issue(self, warp: Warp, cycle: int) -> None:
         if warp.ready:
-            self._lru_remove(warp)
-        warp.last_issue_cycle = cycle
-        if warp.ready:
-            self.notify_ready(warp)
+            # Remove at the old key, stamp, reinsert at the new one
+            # (_lru_remove + notify_ready, inlined: this runs per issue).
+            keys = self._lru_keys
+            lru = self._lru
+            i = bisect_left(keys, (warp.last_issue_cycle, warp.slot))
+            if i < len(lru) and lru[i] is warp:
+                del lru[i]
+                del keys[i]
+            warp.last_issue_cycle = cycle
+            key = (cycle, warp.slot)
+            i = bisect_left(keys, key)
+            keys.insert(i, key)
+            lru.insert(i, warp)
+        else:
+            warp.last_issue_cycle = cycle
         if warp is self._greedy:
             self._greedy_issued_at = cycle
             return
@@ -336,33 +355,34 @@ class LRRScheduler(WarpScheduler):
 
 
 class _TwoLevelScan(_Scan):
-    """Walks the live active pool.  The only mid-scan mutations are the
-    current candidate demoting itself (``notify_long_stall`` removes it, so
-    the cursor already points at the next member) and promotions appending
-    pipeline-parked warps at the end (skipped by the ready filter, exactly
-    like the seed's start-of-cycle snapshot never contained them)."""
+    """Walks a snapshot of the active pool taken at scan start — exactly
+    the ``list(self._active)`` the naive reference materializes once per
+    cycle.  The pool mutates mid-scan (the current candidate demoting
+    itself, a demotion-triggered ``_refill`` purging warps that exited
+    earlier in the same scan, promotions appending new members), and a
+    live walk lets those mutations shift unvisited candidates across the
+    cursor; the snapshot pins every candidate at its seed position.
+    Warps promoted mid-scan are absent from the snapshot, exactly like
+    the seed's start-of-cycle list never contained them.  Parked
+    (non-ready) members are skipped: their seed attempts failed without
+    side effects."""
 
-    __slots__ = ("_sched", "_i", "_last")
+    __slots__ = ("_cands", "_i")
 
     def __init__(self, sched: "TwoLevelScheduler"):
-        self._sched = sched
+        self._cands = sched._active[:]
         self._i = 0
-        self._last: Optional[Warp] = None
 
     def next_candidate(self) -> Optional[Warp]:
-        active = self._sched._active
+        cands = self._cands
         i = self._i
-        if self._last is not None and i < len(active) and active[i] is self._last:
-            i += 1  # previous candidate kept its slot; step past it
-        while i < len(active):
-            w = active[i]
+        while i < len(cands):
+            w = cands[i]
+            i += 1
             if w.ready:
                 self._i = i
-                self._last = w
                 return w
-            i += 1
         self._i = i
-        self._last = None
         return None
 
 
@@ -393,6 +413,13 @@ class TwoLevelScheduler(WarpScheduler):
         self._now = cycle
         self._refill()
         return list(self._active)
+
+    @property
+    def quiescent(self) -> bool:
+        # ``_now`` going stale across skipped begin_cycle calls is safe:
+        # it is only read by notify_long_stall-driven refills, which fire
+        # from issue attempts — full-path cycles where begin_cycle ran.
+        return not self._dirty
 
     def begin_cycle(self, cycle: int) -> None:
         self._now = cycle

@@ -37,7 +37,7 @@ from heapq import heappop, heappush
 from typing import TYPE_CHECKING, List, Optional
 
 from ..isa.instructions import Instruction
-from ..isa.opcodes import FuncUnit, Opcode
+from ..isa.opcodes import Opcode
 from ..obs.stalls import ISSUED, ShardStallTracker
 from ..regfile.base import OperandStorage
 from .executor import compute_result, read_operand
@@ -150,19 +150,49 @@ class Shard:
         #: the in-progress issue scan (mid-scan wakes are forwarded to it).
         self._scan = None
         self._issued_warps: List[Warp] = []
+        # Per-run constants, cached off the attribute chains the per-cycle
+        # loops would otherwise re-walk (sm.wheel.now, sm.program[pc], ...).
+        self._issue_width = sm.config.issue_width
+        self._wheel = sm.wheel
+        self._program = sm.program
+        self._program_len = sm.program_len
+        self._counters_inc = sm.counters.inc
+        self._track_ws = sm.config.track_working_set
+        #: True while the stall tracker's last committed cycle equals the
+        #: current parked histogram — idle cycles then replay it in O(1).
+        self._idle_committed = False
         storage.attach(self)
+        self._storage_has_work = storage.has_work
+        self._storage_cycle = storage.cycle
 
     # -- per-cycle issue loop ---------------------------------------------------
 
     def cycle(self) -> int:
         """Run one cycle; returns the number of instructions issued."""
-        self.storage.cycle()
-        sm = self.sm
+        now = self._wheel.now
+        if self._storage_has_work(now):
+            self._storage_cycle()
         scheduler = self.scheduler
-        now = sm.wheel.now
+        heap = self._wake_heap
+        if (
+            not self._ready
+            and not self._dynamic
+            and (not heap or heap[0][0] > now)
+            and scheduler.quiescent
+        ):
+            # Idle fast path: every warp is parked with a stable bin, no
+            # wake is due, and the scheduler has no deferred maintenance —
+            # the full path below would only recommit the same histogram.
+            stalls = self.stalls
+            if stalls is not None:
+                if self._idle_committed:
+                    stalls.replay(1)
+                else:
+                    stalls.commit(dict(self._parked_bins))
+                    self._idle_committed = True
+            return 0
         scheduler.begin_cycle(now)
         # Pipeline-stall expiries due this cycle.
-        heap = self._wake_heap
         if heap:
             wake_at = self._wake_at
             while heap and heap[0][0] <= now:
@@ -175,7 +205,7 @@ class Shard:
         issued_warps.clear()
         if self._ready:
             try_issue = self._try_issue
-            budget = sm.config.issue_width
+            budget = self._issue_width
             scan = self._scan = scheduler.begin_scan(now)
             while budget > 0:
                 warp = scan.next_candidate()
@@ -213,14 +243,14 @@ class Shard:
         stale ``_now``)."""
         if warp.ready:
             return
-        now = self.sm.wheel.now
+        now = self._wheel.now
         if not warp.exited and not warp.at_barrier and now >= warp.stall_until:
             pc = self._effective_pc(warp)
-            if pc >= self.sm.program_len:
+            if pc >= self._program_len:
                 # Ran off the end: the next scan synthesizes the exit.
                 self._make_ready(warp)
                 return
-            insn = self.sm.program[pc]
+            insn = self._program[pc]
             if warp.scoreboard_ready(insn):
                 storage = self.storage
                 if not storage.parkable or storage.stall_reason(
@@ -241,6 +271,7 @@ class Shard:
         self._repark(warp, bin_)
 
     def _make_ready(self, warp: Warp) -> None:
+        self._idle_committed = False
         warp.ready = True
         self._ready.add(warp)
         bins = self._parked_bins
@@ -260,6 +291,7 @@ class Shard:
 
     def _park(self, warp: Warp, bin_: str) -> None:
         """Remove a ready warp from the ready set under ``bin_``."""
+        self._idle_committed = False
         warp.ready = False
         self._ready.discard(warp)
         self.scheduler.notify_blocked(warp)
@@ -276,6 +308,7 @@ class Shard:
 
     def _repark(self, warp: Warp, bin_: str) -> None:
         """Refresh an already-parked warp's recorded bin."""
+        self._idle_committed = False
         old = warp.park_bin
         if old == bin_:
             if bin_ == "pipeline":
@@ -365,20 +398,30 @@ class Shard:
             return "barrier"
         if now < warp.stall_until:
             return "pipeline"
-        pc = self._effective_pc(warp)
-        if pc >= self.sm.program_len:
+        # _effective_pc, inlined (this is the hottest call site).
+        stack = warp.stack
+        i = len(stack) - 1
+        entry = stack[i]
+        while i > 0 and entry.pc == entry.reconv_pc:
+            i -= 1
+            entry = stack[i]
+        pc = entry.pc
+        if pc >= self._program_len:
             # Ran off the end; the exit is synthesized at the next issue
             # attempt, so the warp is as good as gone.
             return "exited"
-        insn = self.sm.program[pc]
+        insn = self._program[pc]
         if not warp.scoreboard_ready(insn):
-            if self._blocked_on_memory(warp, insn):
-                return "mem_pending"
+            pending_loads = warp.pending_loads
+            if pending_loads:
+                for i in insn.src_idx:
+                    if i in pending_loads:
+                        return "mem_pending"
             return "scoreboard"
         reason = self.storage.stall_reason(warp, pc, insn)
         if reason is not None:
             return reason
-        if insn.opcode.info.unit is FuncUnit.MEM and self.sm.mem_slot_busy:
+        if insn.is_mem and self.sm.mem_slot_busy:
             return "mem_slot"
         if not self.scheduler.eligible(warp):
             return "demoted"
@@ -391,7 +434,7 @@ class Shard:
         # fast-forwarded: the CM reports non-idle).
         if self._dynamic:
             bins_live = self._parked_bins
-            program = self.sm.program
+            program = self._program
             storage = self.storage
             for warp in tuple(self._dynamic):
                 pc = warp.park_pc
@@ -412,10 +455,10 @@ class Shard:
         classify = self._classify
         storage_parkable = self.storage.parkable
         demotes = self.scheduler.demotes
-        issued_wids = {w.wid for w in issued_warps}
+        issued_set = set(issued_warps) if issued_warps else ()
         to_park = None
         for warp in self._ready:
-            if warp.wid in issued_wids:
+            if warp in issued_set:
                 continue
             reason = classify(warp, now)
             bins[reason] = bins.get(reason, 0) + 1
@@ -437,7 +480,7 @@ class Shard:
                 # seed then flips between demoted and mem_slot) or the
                 # storage's pressure state can change under it (RFV).
                 pc = self._effective_pc(warp)
-                if self.sm.program[pc].opcode.info.unit is FuncUnit.MEM:
+                if self._program[pc].is_mem:
                     continue
             else:
                 continue
@@ -460,19 +503,27 @@ class Shard:
         if issued_warps:
             bins[ISSUED] = len(issued_warps)
         self.stalls.commit(bins)
+        # The committed cycle may differ from the parked histogram (ready
+        # classifications, ISSUED) — idle cycles must re-commit fresh.
+        self._idle_committed = False
 
     def _try_issue(self, warp: Warp, now: int) -> int:
-        if not warp.runnable or now < warp.stall_until:
+        if warp.exited or warp.at_barrier or now < warp.stall_until:
             return _FAIL_PARK
-        warp.maybe_reconverge()
-        pc = warp.pc
-        if pc >= self.sm.program_len:
+        # maybe_reconverge + the pc property, inlined (hot path).
+        stack = warp.stack
+        top = stack[-1]
+        while len(stack) > 1 and top.pc == top.reconv_pc:
+            stack.pop()
+            top = stack[-1]
+        pc = top.pc
+        if pc >= self._program_len:
             # Fell off the end without EXIT; treat as done.
             warp.exited = True
             self.storage.on_warp_exit(warp)
             self.sm.notify_warp_done(warp)
             return _FAIL_PARK
-        insn = self.sm.program[pc]
+        insn = self._program[pc]
         if not warp.scoreboard_ready(insn):
             if self._blocked_on_memory(warp, insn):
                 self.scheduler.notify_long_stall(warp)
@@ -482,7 +533,7 @@ class Shard:
             # RegLess region) must not pin a two-level active-pool slot.
             self.scheduler.notify_long_stall(warp)
             return _FAIL_PARK
-        if insn.opcode.info.unit is FuncUnit.MEM and not self.sm.take_mem_slot():
+        if insn.is_mem and not self.sm.take_mem_slot():
             return _FAIL_KEEP
         self.issue(warp, pc, insn)
         return _ISSUE_OK
@@ -490,32 +541,46 @@ class Shard:
     def _blocked_on_memory(self, warp: Warp, insn: Instruction) -> bool:
         """Two-level demotion trigger: a source operand is waiting on an
         in-flight global load (ALU-latency stalls do not demote)."""
-        if not warp.pending_loads:
+        pending_loads = warp.pending_loads
+        if not pending_loads:
             return False
-        return any(r.index in warp.pending_loads for r in insn.reg_srcs)
+        for i in insn.src_idx:
+            if i in pending_loads:
+                return True
+        return False
 
     # -- issue ------------------------------------------------------------------------
 
     def issue(self, warp: Warp, pc: int, insn: Instruction) -> None:
         sm = self.sm
-        sm.counters.inc("insn_issued")
+        counters_inc = self._counters_inc
+        counters_inc("insn_issued")
         warp.issued += 1
         # Metadata instructions ride the fetch/decode path (the decode stage
         # fills the CM's metadata store, section 5.4); they cost fetch
         # energy but no execution-issue slots.
         meta = self.storage.metadata_slots(warp, pc)
         if meta:
-            sm.counters.inc("metadata_issue", meta)
+            counters_inc("metadata_issue", meta)
 
-        if sm.config.track_working_set:
+        if self._track_ws:
             ws = sm.gpu.working_set
-            for r in insn.regs:
-                ws.add((warp.wid, r.index))
+            wid = warp.wid
+            for i in insn.reg_idx:
+                ws.add((wid, i))
 
-        guard_mask = warp.guard_mask(insn)
-        active = warp.active_mask & guard_mask
+        # guard_mask + active_mask, inlined (most instructions are unguarded).
+        guard = insn.guard
+        if guard is None:
+            guard_mask = FULL_MASK
+        else:
+            guard_mask = warp.preds.get(guard.pred.index, 0)
+            if guard.negate:
+                guard_mask = ~guard_mask & FULL_MASK
+        active_mask = warp.stack[-1].mask
+        active = active_mask & guard_mask
         op = insn.opcode
-        info = op.info
+        info = insn.info
 
         # Control resolution happens at issue (the scoreboard guarantees the
         # guard predicate has been written).
@@ -542,7 +607,7 @@ class Shard:
 
         self.storage.on_issue(warp, pc, insn)
 
-        if info.unit is FuncUnit.MEM:
+        if insn.is_mem:
             self._issue_memory(warp, insn, pc, active)
             return
 
@@ -558,19 +623,17 @@ class Shard:
     def _issue_alu(self, warp: Warp, insn: Instruction, pc: int,
                    active: int, guard_mask: int) -> None:
         value = compute_result(warp, insn)
-        full = guard_mask & warp.active_mask == warp.active_mask
+        full = active == warp.stack[-1].mask
         dst = insn.reg_dsts[0]
         warp.write_reg(dst, value, full=full)
         warp.mark_pending(insn)
-        latency = insn.opcode.info.latency
-        self.sm.wheel.after(latency, _Writeback(self, warp, pc, insn))
+        self._wheel.after(insn.latency, _Writeback(self, warp, pc, insn))
 
     def _issue_setp(self, warp: Warp, insn: Instruction, pc: int) -> None:
         mask = self.sm.gpu.oracle.pred_mask(warp.wid, pc, insn.tag)
         warp.write_pred(insn.pred_dsts[0], mask)
         warp.mark_pending(insn)
-        latency = insn.opcode.info.latency
-        self.sm.wheel.after(latency, _Writeback(self, warp, pc, insn))
+        self._wheel.after(insn.latency, _Writeback(self, warp, pc, insn))
 
     def _issue_memory(self, warp: Warp, insn: Instruction, pc: int,
                       active: int) -> None:
@@ -581,12 +644,12 @@ class Shard:
                 value = read_operand(warp, insn.srcs[0]).opaque(salt=0x60)
                 warp.write_reg(insn.reg_dsts[0], value)
                 warp.mark_pending(insn)
-                sm.wheel.after(op.info.latency,
-                               _Writeback(self, warp, pc, insn))
-            sm.counters.inc("shared_access")
+                self._wheel.after(insn.latency,
+                                  _Writeback(self, warp, pc, insn))
+            self._counters_inc("shared_access")
             return
         if op is Opcode.STS:
-            sm.counters.inc("shared_access")
+            self._counters_inc("shared_access")
             return
 
         addr = read_operand(warp, insn.srcs[0])
@@ -596,11 +659,11 @@ class Shard:
         if op is Opcode.STG:
             for line in lines:
                 sm.hierarchy.request(sm.sm_id, line, True, None, kind="data")
-            sm.counters.inc("gmem_store_lines", len(lines))
+            self._counters_inc("gmem_store_lines", len(lines))
             return
 
         # LDG: the destination is pending until every line returns.
-        sm.counters.inc("gmem_load_lines", len(lines))
+        self._counters_inc("gmem_load_lines", len(lines))
         value = sm.gpu.oracle.load_value(warp.wid, pc, insn.tag)
         warp.write_reg(insn.reg_dsts[0], value,
                        full=active == warp.active_mask)
@@ -615,11 +678,12 @@ class Shard:
     def _writeback(self, warp: Warp, pc: int, insn: Instruction) -> None:
         warp.clear_pending(insn)
         if insn.opcode.is_global_load and insn.reg_dsts:
-            warp.pending_loads.discard(insn.reg_dsts[0].index)
-        if self.sm.config.track_working_set and insn.reg_dsts:
+            warp.pending_loads.discard(insn.dst_idx[0])
+        if self._track_ws and insn.reg_dsts:
             ws = self.sm.gpu.working_set
-            for r in insn.reg_dsts:
-                ws.add((warp.wid, r.index))
+            wid = warp.wid
+            for i in insn.dst_idx:
+                ws.add((wid, i))
         self.storage.on_writeback(warp, pc, insn)
         if not warp.ready:
             # Scoreboard/load clear (and possibly a RegLess region finish

@@ -91,7 +91,9 @@ class SM:
                 Shard(self, shard_id, shard_warps, scheduler, storage_factory(shard_id))
             )
 
-        self._mem_slot_used = 0
+        #: cycle stamp of the last LDST issue (one slot per cycle; stamped
+        #: instead of reset each cycle so idle cycles cost nothing).
+        self._mem_slot_cycle = -1
         self._barrier_count: Dict[int, int] = {}
         self.warps_done = 0
 
@@ -109,14 +111,15 @@ class SM:
     # -- shared per-cycle resources ---------------------------------------------------
 
     def take_mem_slot(self) -> bool:
-        if self._mem_slot_used >= 1:
+        now = self.wheel.now
+        if self._mem_slot_cycle == now:
             return False
-        self._mem_slot_used += 1
+        self._mem_slot_cycle = now
         return True
 
     @property
     def mem_slot_busy(self) -> bool:
-        return self._mem_slot_used >= 1
+        return self._mem_slot_cycle == self.wheel.now
 
     # -- barriers -------------------------------------------------------------------------
 
@@ -155,8 +158,8 @@ class SM:
     # -- simulation ------------------------------------------------------------------------
 
     def cycle(self) -> int:
-        self.l1.begin_cycle()
-        self._mem_slot_used = 0
+        # No per-cycle resets: the L1 port and the LDST slot are
+        # cycle-stamped, so quiescent cycles pay nothing here.
         issued = 0
         for shard in self.shards:
             issued += shard.cycle()
@@ -164,8 +167,10 @@ class SM:
 
     def account_skipped(self, cycles: int) -> None:
         """Attribute ``cycles`` fast-forwarded cycles to each shard's
-        stall bins (replaying the dead cycle that triggered the skip)."""
+        stall bins (replaying the dead cycle that triggered the skip) and
+        let storages shift any called-cycle deadlines across the gap."""
         for shard in self.shards:
+            shard.storage.on_fast_forward(cycles)
             if shard.stalls is not None:
                 shard.stalls.replay(cycles)
 

@@ -50,9 +50,19 @@ def mix_hash(*parts: int) -> int:
 _mix = mix_hash
 
 
-@dataclass(frozen=True)
+_UNIFORM = ValueKind.UNIFORM
+_AFFINE = ValueKind.AFFINE
+_RANDOM = ValueKind.RANDOM
+
+
+@dataclass(slots=True)
 class LaneValues:
-    """One warp-register value across all 32 lanes."""
+    """One warp-register value across all 32 lanes.
+
+    Treated as immutable by convention (arithmetic returns new instances);
+    not ``frozen=True`` because the frozen ``__init__`` costs ~3x on this
+    class, which the simulator constructs on every ALU result.
+    """
 
     kind: ValueKind
     base: int = 0
@@ -63,78 +73,90 @@ class LaneValues:
 
     @staticmethod
     def uniform(base: int) -> "LaneValues":
-        return LaneValues(ValueKind.UNIFORM, base & _MASK32)
+        return LaneValues(_UNIFORM, base & _MASK32)
 
     @staticmethod
     def affine(base: int, stride: int) -> "LaneValues":
         if stride == 0:
-            return LaneValues.uniform(base)
-        return LaneValues(ValueKind.AFFINE, base & _MASK32, stride)
+            return LaneValues(_UNIFORM, base & _MASK32)
+        return LaneValues(_AFFINE, base & _MASK32, stride)
 
     @staticmethod
     def random(tag: int) -> "LaneValues":
-        return LaneValues(ValueKind.RANDOM, tag=tag & _MASK32)
+        return LaneValues(_RANDOM, tag=tag & _MASK32)
 
     # -- properties ----------------------------------------------------------------
 
     @property
     def is_uniform(self) -> bool:
-        return self.kind is ValueKind.UNIFORM
+        return self.kind is _UNIFORM
 
     @property
     def is_affine(self) -> bool:
-        return self.kind is ValueKind.AFFINE
+        return self.kind is _AFFINE
 
     @property
     def is_random(self) -> bool:
-        return self.kind is ValueKind.RANDOM
+        return self.kind is _RANDOM
 
     def lane(self, i: int) -> int:
         """Concrete value of lane ``i`` (RANDOM lanes are hashed)."""
-        if self.kind is ValueKind.UNIFORM:
+        if self.kind is _UNIFORM:
             return self.base
-        if self.kind is ValueKind.AFFINE:
+        if self.kind is _AFFINE:
             return (self.base + self.stride * i) & _MASK32
         return _mix(self.tag, i)
 
     # -- arithmetic ------------------------------------------------------------------
 
     def add(self, other: "LaneValues") -> "LaneValues":
-        if self.is_random or other.is_random:
-            return LaneValues.random(_mix(self.tag, other.tag, self.base, other.base, 1))
+        if self.kind is _RANDOM or other.kind is _RANDOM:
+            return LaneValues(
+                _RANDOM,
+                tag=_mix(self.tag, other.tag, self.base, other.base, 1),
+            )
         return LaneValues.affine(
             self.base + other.base, self.stride + other.stride
         )
 
     def sub(self, other: "LaneValues") -> "LaneValues":
-        if self.is_random or other.is_random:
-            return LaneValues.random(_mix(self.tag, other.tag, self.base, other.base, 2))
+        if self.kind is _RANDOM or other.kind is _RANDOM:
+            return LaneValues(
+                _RANDOM,
+                tag=_mix(self.tag, other.tag, self.base, other.base, 2),
+            )
         return LaneValues.affine(
             self.base - other.base, self.stride - other.stride
         )
 
     def mul(self, other: "LaneValues") -> "LaneValues":
-        if self.is_uniform and other.is_uniform:
-            return LaneValues.uniform(self.base * other.base)
-        if self.is_uniform and other.is_affine:
+        k, ok = self.kind, other.kind
+        if k is _UNIFORM and ok is _UNIFORM:
+            return LaneValues(_UNIFORM, (self.base * other.base) & _MASK32)
+        if k is _UNIFORM and ok is _AFFINE:
             return LaneValues.affine(self.base * other.base, self.base * other.stride)
-        if self.is_affine and other.is_uniform:
+        if k is _AFFINE and ok is _UNIFORM:
             return LaneValues.affine(self.base * other.base, self.stride * other.base)
-        return LaneValues.random(_mix(self.tag, other.tag, self.base, other.base, 3))
+        return LaneValues(
+            _RANDOM, tag=_mix(self.tag, other.tag, self.base, other.base, 3)
+        )
 
     def shl(self, other: "LaneValues") -> "LaneValues":
-        if other.is_uniform and not self.is_random:
+        if other.kind is _UNIFORM and self.kind is not _RANDOM:
             factor = 1 << (other.base & 31)
             return LaneValues.affine(self.base * factor, self.stride * factor)
-        return LaneValues.random(_mix(self.tag, other.tag, self.base, other.base, 4))
+        return LaneValues(
+            _RANDOM, tag=_mix(self.tag, other.tag, self.base, other.base, 4)
+        )
 
     def opaque(self, other: Optional["LaneValues"] = None, salt: int = 0) -> "LaneValues":
         """Result of an operation that destroys structure (div, sin, xor...)."""
         o = other if other is not None else ZERO
-        if self.is_uniform and o.is_uniform:
-            return LaneValues.uniform(_mix(self.base, o.base, salt))
-        return LaneValues.random(
-            _mix(self.tag, o.tag, self.base, o.base, self.stride, o.stride, salt)
+        if self.kind is _UNIFORM and o.kind is _UNIFORM:
+            return LaneValues(_UNIFORM, _mix(self.base, o.base, salt))
+        return LaneValues(
+            _RANDOM,
+            tag=_mix(self.tag, o.tag, self.base, o.base, self.stride, o.stride, salt),
         )
 
     # -- memory helpers ------------------------------------------------------------------

@@ -169,37 +169,38 @@ class Warp:
     def scoreboard_ready(self, insn: Instruction) -> bool:
         pending_regs = self.pending_regs
         if pending_regs:
-            for r in insn.regs:
-                if r.index in pending_regs:
+            for i in insn.reg_idx:
+                if i in pending_regs:
                     return False
         pending_preds = self.pending_preds
         if pending_preds:
-            for p in insn.pred_srcs:
-                if p.index in pending_preds:
-                    return False
-            for p in insn.pred_dsts:
-                if p.index in pending_preds:
+            for i in insn.pred_idx:
+                if i in pending_preds:
                     return False
         return True
 
     def mark_pending(self, insn: Instruction) -> None:
-        for r in insn.reg_dsts:
-            self.pending_regs[r.index] = self.pending_regs.get(r.index, 0) + 1
-        for p in insn.pred_dsts:
-            self.pending_preds[p.index] = self.pending_preds.get(p.index, 0) + 1
+        pending_regs = self.pending_regs
+        for i in insn.dst_idx:
+            pending_regs[i] = pending_regs.get(i, 0) + 1
+        pending_preds = self.pending_preds
+        for i in insn.pred_dst_idx:
+            pending_preds[i] = pending_preds.get(i, 0) + 1
         self.inflight += 1
 
     def clear_pending(self, insn: Instruction) -> None:
-        for r in insn.reg_dsts:
-            n = self.pending_regs.get(r.index, 0)
+        pending_regs = self.pending_regs
+        for i in insn.dst_idx:
+            n = pending_regs.get(i, 0)
             if n <= 1:
-                self.pending_regs.pop(r.index, None)
+                pending_regs.pop(i, None)
             else:
-                self.pending_regs[r.index] = n - 1
-        for p in insn.pred_dsts:
-            n = self.pending_preds.get(p.index, 0)
+                pending_regs[i] = n - 1
+        pending_preds = self.pending_preds
+        for i in insn.pred_dst_idx:
+            n = pending_preds.get(i, 0)
             if n <= 1:
-                self.pending_preds.pop(p.index, None)
+                pending_preds.pop(i, None)
             else:
-                self.pending_preds[p.index] = n - 1
+                pending_preds[i] = n - 1
         self.inflight -= 1

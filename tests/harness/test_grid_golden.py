@@ -1,9 +1,10 @@
 """Grid equivalence against committed golden SimStats.
 
 ``tests/golden/simstats_bfs_nw.json`` snapshots the simulated results
-(cycles, instructions, counters, stall bins) of bfs and nw under all five
-backends from before the event-driven issue-core rework.  The rework is a
-pure wall-clock optimization: simulated results must stay **bit-identical**.
+(cycles, instructions, counters, stall bins) of bfs, nw and hotspot under
+all five backends from before the event-driven issue-core and
+demand-clocked component reworks.  Those reworks are pure wall-clock
+optimizations: simulated results must stay **bit-identical**.
 Any intentional change to simulated behavior must regenerate the golden
 (see docs/performance.md) in the same commit and say why.
 """
@@ -21,7 +22,7 @@ GOLDEN = Path(__file__).resolve().parents[1] / "golden" / "simstats_bfs_nw.json"
 
 _CELLS = [
     (name, backend)
-    for name in ("bfs", "nw")
+    for name in ("bfs", "nw", "hotspot")
     for backend in ("baseline", "rfh", "rfv", "regless", "regless-nc")
 ]
 

@@ -331,6 +331,17 @@ def test_lrr_midscan_rebase():
     _run_pair(NaiveLRRScheduler, LRRScheduler, 4, plans)
 
 
+def test_two_level_midscan_refill_keeps_snapshot_positions():
+    """Pinned regression (found by Hypothesis): warp0 exits mid-scan, then
+    warp1's demotion triggers a ``_refill`` that purges the exited warp0
+    from the live active list.  A live-list walk saw warp2 shift from
+    index 2 to index 0 — behind the cursor — and never attempted it; the
+    naive reference iterates the cycle-start snapshot and issues warp2 in
+    the same cycle."""
+    plans = [[("alu", 1)], [("mem", 2)], []]
+    _run_pair(NaiveTwoLevelScheduler, TwoLevelScheduler, 3, plans)
+
+
 def test_two_level_promotes_next_cycle_after_exit():
     """An exit frees an active-pool slot, but the promotion (and its
     pipeline refill penalty) lands at the next cycle start."""

@@ -65,7 +65,7 @@ class TestMemSlot:
     def test_one_ldst_issue_per_cycle(self, loop_workload, fast_config):
         gpu = make_gpu(loop_workload, fast_config)
         sm = gpu.sms[0]
-        sm._mem_slot_used = 0
+        sm._mem_slot_cycle = -1
         assert sm.take_mem_slot()
         assert not sm.take_mem_slot()
 
