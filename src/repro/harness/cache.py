@@ -14,9 +14,19 @@ its outcome:
 
 Results are pickled :class:`~repro.harness.runner.RunResult` objects stored
 under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro-regless``).  Set
-``REPRO_CACHE=0`` to disable caching entirely.  Writes are atomic
-(temp file + rename), so concurrent writers — e.g. several ``run_grid``
-worker collections — can share one store safely.
+``REPRO_CACHE=0`` to disable caching entirely.
+
+Crash safety
+------------
+
+Entries are framed — magic, schema version, payload SHA-256, payload —
+and every read verifies the frame before unpickling.  Writes go through a
+temp file + atomic rename, so a crash mid-write leaves at worst a stray
+``.tmp`` file, never a half-written entry served as truth; concurrent
+writers — e.g. several ``run_grid`` worker collections — can share one
+store safely.  A truncated, bit-flipped, wrong-version, or otherwise
+unreadable entry reads as a **miss** and is deleted on sight
+(``corrupt_evictions``), so one bad sector can't wedge a sweep.
 """
 
 from __future__ import annotations
@@ -30,11 +40,12 @@ from typing import Optional, Sequence, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..energy.model import EnergyParams
+    from ..obs.metrics import MetricScope
     from ..sim.config import GPUConfig
     from .runner import RunResult
 
-__all__ = ["ResultCache", "cache_enabled", "cache_root", "code_salt",
-           "run_digest"]
+__all__ = ["CACHE_SCHEMA_VERSION", "CacheCorruption", "ResultCache",
+           "cache_enabled", "cache_root", "code_salt", "run_digest"]
 
 
 def cache_enabled() -> bool:
@@ -106,25 +117,89 @@ def run_digest(
     return h.hexdigest()
 
 
-class ResultCache:
-    """On-disk pickle store addressed by :func:`run_digest` keys."""
+#: bumped whenever the on-disk entry layout changes; older entries read
+#: as misses and are evicted.
+CACHE_SCHEMA_VERSION = 2
 
-    def __init__(self, root: Optional[str] = None):
+_MAGIC = b"RGC\x01"
+_HEADER_LEN = len(_MAGIC) + 2 + 32  # magic + version (u16 BE) + sha256
+
+
+class CacheCorruption(ValueError):
+    """An entry failed frame validation (internal to :meth:`ResultCache.get`)."""
+
+
+def _frame(payload: bytes) -> bytes:
+    return (
+        _MAGIC
+        + CACHE_SCHEMA_VERSION.to_bytes(2, "big")
+        + hashlib.sha256(payload).digest()
+        + payload
+    )
+
+
+def _unframe(data: bytes) -> bytes:
+    if len(data) < _HEADER_LEN:
+        raise CacheCorruption("truncated header")
+    if data[: len(_MAGIC)] != _MAGIC:
+        raise CacheCorruption("bad magic")
+    version = int.from_bytes(data[len(_MAGIC) : len(_MAGIC) + 2], "big")
+    if version != CACHE_SCHEMA_VERSION:
+        raise CacheCorruption(f"schema version {version}")
+    checksum = data[len(_MAGIC) + 2 : _HEADER_LEN]
+    payload = data[_HEADER_LEN:]
+    if hashlib.sha256(payload).digest() != checksum:
+        raise CacheCorruption("checksum mismatch")
+    return payload
+
+
+class ResultCache:
+    """On-disk pickle store addressed by :func:`run_digest` keys.
+
+    ``metrics`` may be set to a :class:`~repro.obs.metrics.MetricScope`;
+    corrupt-entry evictions are then counted under ``corrupt_evictions``.
+    """
+
+    def __init__(self, root: Optional[str] = None,
+                 metrics: Optional["MetricScope"] = None):
         self.root = str(root) if root is not None else cache_root()
+        self.metrics = metrics
         self.hits = 0
         self.misses = 0
         self.writes = 0
+        self.corrupt_evictions = 0
 
     def _path(self, digest: str) -> str:
         return os.path.join(self.root, digest[:2], f"{digest}.pkl")
 
-    def get(self, digest: str) -> Optional["RunResult"]:
-        """The cached result, or ``None`` (corrupt entries read as misses)."""
+    def _evict_corrupt(self, path: str, reason: str) -> None:
+        self.corrupt_evictions += 1
+        if self.metrics is not None:
+            self.metrics.inc("corrupt_evictions")
         try:
-            with open(self._path(digest), "rb") as fh:
-                result = pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-                ImportError, IndexError):
+            os.unlink(path)
+        except OSError:
+            pass  # already gone, or unwritable store: still a miss
+
+    def get(self, digest: str) -> Optional["RunResult"]:
+        """The cached result, or ``None``.
+
+        Corrupt, truncated, or version-mismatched entries read as misses
+        and are deleted so they are never re-examined."""
+        path = self._path(digest)
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            result = pickle.loads(_unframe(data))
+        except (CacheCorruption, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError, IndexError, ValueError):
+            # Unpickling failures are corruption too: the checksum only
+            # guards bit rot, not entries written by incompatible code.
+            self._evict_corrupt(path, "corrupt entry")
             self.misses += 1
             return None
         self.hits += 1
@@ -136,7 +211,9 @@ class ResultCache:
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(_frame(
+                    pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+                ))
             os.replace(tmp, path)  # atomic on POSIX
         except OSError:
             try:

@@ -10,10 +10,18 @@ Examples::
     python -m repro.harness fig16 --profile       # cProfile hotspots
     python -m repro.harness stalls bfs nw         # warp-cycle stall breakdown
     python -m repro.harness trace bfs --perfetto  # Chrome-trace JSON export
+    python -m repro.harness seeds                 # seed-stability study
+    python -m repro.harness all --timeout 300 --retries 2   # resilient sweep
 
 Worker count defaults to ``REPRO_JOBS`` or the CPU count; results persist
 in the cache described in :mod:`repro.harness.cache` unless ``--no-cache``
 (or ``REPRO_CACHE=0``) is given.
+
+``--timeout``/``--retries`` turn on the resilience layer
+(docs/robustness.md): per-run watchdog + wall-clock deadline, retries with
+backoff, dead-worker recovery.  A sweep that still cannot complete prints
+the per-run outcome summary and exits with status 3 — completed runs stay
+cached, so the re-run only repeats the failures.
 """
 
 from __future__ import annotations
@@ -25,7 +33,9 @@ from typing import List, Optional
 
 from . import experiments as ex
 from . import report
+from ..sim.watchdog import WatchdogConfig
 from .bench import run_bench
+from .parallel import FaultPolicy, GridFailure
 from .runner import BACKENDS, SuiteRunner
 from .export import export_all
 from .robustness import render_robustness, seed_robustness
@@ -73,12 +83,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_RENDER) + ["all", "validate", "robustness", "export",
-                                   "bench", "stalls", "trace"],
+        choices=sorted(_RENDER) + ["all", "validate", "seeds", "robustness",
+                                   "export", "bench", "stalls", "trace"],
         help="which table/figure to regenerate ('validate' checks the "
              "paper's claims; 'bench' times the execution layer; 'stalls' "
              "prints the warp-cycle stall breakdown; 'trace' records a "
-             "pipeline trace)",
+             "pipeline trace; 'seeds' runs the seed-stability study — "
+             "'robustness' is its deprecated alias)",
     )
     parser.add_argument(
         "benchmarks",
@@ -144,6 +155,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="skip the persistent result cache for this invocation",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-run wall-clock deadline; enables the resilient grid "
+             "(hung runs are killed and retried) and the in-run watchdog",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per failing run before it is reported (default 2 "
+             "when --timeout is given); enables the resilient grid",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run under cProfile and print the hottest functions",
@@ -177,9 +204,36 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     names = args.names if args.names is not None else (args.benchmarks or None)
+    policy = None
+    watchdog = None
+    if args.timeout is not None or args.retries is not None:
+        policy = FaultPolicy(
+            timeout=args.timeout,
+            retries=args.retries if args.retries is not None else 2,
+        )
+        if args.timeout is not None:
+            watchdog = WatchdogConfig(max_wall_seconds=args.timeout)
     runner = SuiteRunner(
-        cache=False if args.no_cache else None, jobs=args.jobs
+        cache=False if args.no_cache else None, jobs=args.jobs,
+        policy=policy, watchdog=watchdog,
     )
+    try:
+        return _dispatch_runner(args, runner, names)
+    except GridFailure as failure:
+        print(f"error: {failure}", file=sys.stderr)
+        for outcome in failure.failed:
+            print(
+                f"  {outcome.request.key}: {outcome.status} after "
+                f"{outcome.attempts} attempt(s) — {outcome.error}",
+                file=sys.stderr,
+            )
+        print("completed runs are cached; re-run to retry only the "
+              "failures", file=sys.stderr)
+        return 3
+
+
+def _dispatch_runner(args: argparse.Namespace, runner: SuiteRunner,
+                     names: Optional[List[str]]) -> int:
     if args.experiment == "stalls":
         backends = [args.backend] if args.backend else list(BACKENDS)
         targets = names or ["bfs", "nw"]
@@ -198,7 +252,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         claims = validate_claims(runner, args.names)
         print(render_claims(claims))
         return 0 if all(c.ok for c in claims) else 1
-    if args.experiment == "robustness":
+    if args.experiment in ("seeds", "robustness"):
+        if args.experiment == "robustness":
+            print(
+                "note: the 'robustness' verb is deprecated (it now names "
+                "the resilience layer, see docs/robustness.md); use "
+                "'seeds' for the seed-stability study",
+                file=sys.stderr,
+            )
         kwargs = {"names": args.names} if args.names else {}
         print(render_robustness(seed_robustness(**kwargs)))
         return 0

@@ -25,14 +25,24 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 
 from ..compiler.pipeline import CompiledKernel, compile_kernel
 from ..energy.model import EnergyBreakdown, EnergyModel
+from ..obs.metrics import MetricsRegistry
 from ..regfile import BaselineRF, RFHStorage, RFVStorage
 from ..regfile.base import OperandStorage
 from ..regless import ReglessConfig, ReglessStorage
 from ..sim.config import GPUConfig
 from ..sim.gpu import SimStats, run_simulation
+from ..sim.watchdog import SimulationHang, Watchdog, WatchdogConfig
 from ..workloads import Workload, make_workload, workload_names
 from .cache import ResultCache, cache_enabled, run_digest
-from .parallel import RunRequest, resolve_jobs, run_requests
+from .parallel import (
+    FaultPolicy,
+    GridFailure,
+    RunOutcome,
+    RunRequest,
+    resolve_jobs,
+    run_requests,
+    run_requests_resilient,
+)
 
 __all__ = ["BACKENDS", "RunResult", "RunRequest", "SuiteRunner"]
 
@@ -77,6 +87,14 @@ class SuiteRunner:
     :class:`~repro.harness.cache.ResultCache` uses that store.  ``jobs``
     is the default worker count for :meth:`run_grid` (``None`` defers to
     ``REPRO_JOBS`` / CPU count at call time).
+
+    ``watchdog`` (a :class:`~repro.sim.watchdog.WatchdogConfig`) attaches
+    a fresh forward-progress monitor to every simulation this runner
+    executes — in-process and in workers alike.  ``policy`` (a
+    :class:`~repro.harness.parallel.FaultPolicy`) makes :meth:`run_grid`
+    resilient: per-run timeouts, retries with backoff, dead-worker
+    recovery, quarantine.  Harness-level events (cache evictions, grid
+    retries/failures) land in ``self.metrics`` under ``harness.*``.
     """
 
     def __init__(
@@ -85,6 +103,8 @@ class SuiteRunner:
         energy_model: Optional[EnergyModel] = None,
         cache: Union[ResultCache, bool, None] = None,
         jobs: Optional[int] = None,
+        watchdog: Optional[WatchdogConfig] = None,
+        policy: Optional[FaultPolicy] = None,
     ):
         self.base_config = config or GPUConfig()
         self.energy_model = energy_model or EnergyModel()
@@ -99,6 +119,14 @@ class SuiteRunner:
         else:
             self.cache = cache
         self.jobs = jobs
+        self.watchdog = watchdog
+        self.policy = policy
+        #: harness-level observability (``harness.cache.*``,
+        #: ``harness.grid.*``) — distinct from per-run simulation metrics.
+        self.metrics = MetricsRegistry()
+        self._metrics_scope = self.metrics.scope("harness")
+        if self.cache is not None:
+            self.cache.metrics = self._metrics_scope.scope("cache")
         self._workloads: Dict[str, Workload] = {}
         self._compiled: Dict[str, CompiledKernel] = {}
         self._kernel_bytes: Dict[str, bytes] = {}
@@ -233,10 +261,14 @@ class SuiteRunner:
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
+        # A watchdog holds per-run progress state, so every run gets a
+        # fresh one built from the runner's config.
+        watchdog = Watchdog(self.watchdog) if self.watchdog else None
         try:
             stats = run_simulation(
                 cfg, compiled, workload, factory,
                 window_series=request.window_series,
+                watchdog=watchdog,
             )
         finally:
             if gc_was_enabled:
@@ -288,7 +320,19 @@ class SuiteRunner:
         produced by :meth:`run`, so follow-up serial :meth:`run` calls are
         hits.  With one effective worker (or one miss) execution stays
         in-process.
+
+        When the runner has a ``policy`` or ``watchdog``, execution goes
+        through :meth:`run_grid_outcomes`; completed runs are installed in
+        the memo/cache even when others fail, and a
+        :class:`~repro.harness.parallel.GridFailure` carrying every
+        per-run :class:`~repro.harness.parallel.RunOutcome` is raised if
+        any request could not complete.
         """
+        if self.policy is not None or self.watchdog is not None:
+            outcomes = self.run_grid_outcomes(requests, jobs=jobs)
+            if any(not o.ok for o in outcomes):
+                raise GridFailure(outcomes)
+            return [o.result for o in outcomes]  # type: ignore[misc]
         reqs = [self._normalize(r) for r in requests]
         for req in reqs:  # validate backends before any dispatch
             if req.backend not in BACKENDS + ("regless-nc",):
@@ -332,6 +376,110 @@ class SuiteRunner:
         for i, req in pending:
             results[i] = self._runs[self._memo_key(req)]
         return [results[i] for i in range(len(reqs))]
+
+    def run_grid_outcomes(
+        self,
+        requests: Iterable[RequestLike],
+        jobs: Optional[int] = None,
+    ) -> List[RunOutcome]:
+        """Resilient grid execution: one terminal
+        :class:`~repro.harness.parallel.RunOutcome` per request, never an
+        exception for per-run failures.
+
+        Memo/cache hits come back as ``ok`` outcomes with zero attempts;
+        misses run under the runner's fault policy (timeouts, retries,
+        quarantine — see :func:`~repro.harness.parallel.run_requests_resilient`)
+        and the runner's watchdog config.  Successful runs are installed
+        in the memo and disk cache regardless of how the rest of the grid
+        fared, so partial results always survive.
+        """
+        reqs = [self._normalize(r) for r in requests]
+        for req in reqs:
+            if req.backend not in BACKENDS + ("regless-nc",):
+                raise ValueError(f"unknown backend {req.backend!r}")
+        outcomes: Dict[int, RunOutcome] = {}
+        pending: List[Tuple[int, RunRequest]] = []
+        seen: Dict[RunRequest, int] = {}
+        for i, req in enumerate(reqs):
+            key = self._memo_key(req)
+            if key in self._runs:
+                outcomes[i] = RunOutcome(req, RunOutcome.OK, self._runs[key])
+                continue
+            if self.cache is not None:
+                t0 = time.perf_counter()
+                cached = self.cache.get(self._digest(req))
+                if cached is not None:
+                    cached.timings["cache_load"] = time.perf_counter() - t0
+                    result = self._install(req, cached, store=False)
+                    outcomes[i] = RunOutcome(req, RunOutcome.OK, result)
+                    continue
+            if req not in seen:
+                seen[req] = i
+            pending.append((i, req))
+
+        unique = [(i, req) for i, req in pending if seen.get(req) == i]
+        jobs_n = resolve_jobs(jobs if jobs is not None else self.jobs)
+        by_req: Dict[RunRequest, RunOutcome] = {}
+        if unique:
+            if jobs_n <= 1 or len(unique) == 1:
+                for _, req in unique:
+                    by_req[req] = self._execute_resilient(req)
+            else:
+                outs = run_requests_resilient(
+                    self.base_config,
+                    self.energy_model.params,
+                    [req for _, req in unique],
+                    jobs=jobs_n,
+                    policy=self.policy,
+                    watchdog=self.watchdog,
+                    metrics=self._metrics_scope,
+                )
+                for (_, req), out in zip(unique, outs):
+                    by_req[req] = out
+            for req, out in by_req.items():
+                if out.ok and out.result is not None:
+                    self._install(req, out.result)
+        for i, req in pending:
+            outcomes[i] = by_req[req]
+        return [outcomes[i] for i in range(len(reqs))]
+
+    def _execute_resilient(self, request: RunRequest) -> RunOutcome:
+        """In-process counterpart of the resilient worker loop (used when
+        the grid stays serial).  A hang is only catchable here if the
+        watchdog converts it into :class:`SimulationHang`; worker kills
+        obviously can't be survived in-process."""
+        policy = self.policy or FaultPolicy()
+        scope = self._metrics_scope
+        attempts = 0
+        last_error = ""
+        while True:
+            attempts += 1
+            try:
+                result = self._execute(request)
+            except SimulationHang as exc:
+                kind, last_error = RunOutcome.HUNG, str(exc)
+            except Exception as exc:  # noqa: BLE001
+                kind = RunOutcome.CRASHED
+                last_error = f"{type(exc).__name__}: {exc}"
+            else:
+                scope.inc("grid.ok")
+                return RunOutcome(
+                    request, RunOutcome.OK, result, attempts, attempts - 1
+                )
+            scope.inc(f"grid.failure_{kind}")
+            if attempts > policy.retries:
+                scope.inc(f"grid.{kind}")
+                return RunOutcome(
+                    request, kind, None, attempts, attempts - 1, last_error
+                )
+            if attempts >= policy.quarantine_after:
+                scope.inc("grid.quarantined")
+                return RunOutcome(
+                    request, RunOutcome.QUARANTINED, None, attempts,
+                    attempts - 1, last_error,
+                )
+            scope.inc("grid.retries")
+            time.sleep(policy.delay(request.key, attempts))
 
     def prefetch(
         self,

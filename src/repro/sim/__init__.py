@@ -2,7 +2,7 @@
 
 from .config import GPUConfig
 from .events import EventWheel
-from .gpu import GPU, SimDeadlock, SimStats, run_simulation
+from .gpu import DEFAULT_MAX_CYCLES, GPU, SimDeadlock, SimStats, run_simulation
 from .oracle import (
     AlwaysTaken,
     BernoulliLanes,
@@ -16,6 +16,13 @@ from .oracle import (
     PredBehavior,
 )
 from .trace import RegionSpan, TraceEvent, Tracer
+from .watchdog import (
+    SimulationHang,
+    Watchdog,
+    WatchdogConfig,
+    check_invariants,
+    snapshot_diagnostics,
+)
 from .scheduler import (
     GTOScheduler,
     LRRScheduler,
@@ -28,10 +35,16 @@ from .warp import StackEntry, Warp
 
 __all__ = [
     "GPUConfig",
+    "DEFAULT_MAX_CYCLES",
     "EventWheel",
     "GPU",
     "SimDeadlock",
+    "SimulationHang",
     "SimStats",
+    "Watchdog",
+    "WatchdogConfig",
+    "check_invariants",
+    "snapshot_diagnostics",
     "run_simulation",
     "AlwaysTaken",
     "BernoulliLanes",

@@ -10,7 +10,7 @@ memory-latency-bound phases dramatically without changing results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from typing import TYPE_CHECKING
 
@@ -22,16 +22,20 @@ from ..obs.stalls import check_conservation, merge_stalls
 from .config import GPUConfig
 from .events import EventWheel
 from .sm import SM
+from .watchdog import SimDeadlock, SimulationHang, Watchdog, snapshot_diagnostics
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..regfile.base import OperandStorage
     from ..workloads.base import Workload
 
-__all__ = ["GPU", "SimStats", "SimDeadlock", "run_simulation"]
+__all__ = ["DEFAULT_MAX_CYCLES", "GPU", "SimStats", "SimDeadlock",
+           "run_simulation"]
 
-
-class SimDeadlock(RuntimeError):
-    """No warp can ever make progress again."""
+#: Hard safety ceiling applied when the config's ``max_cycles`` is unset
+#: (``None`` or <= 0): no workload may spin the event wheel forever, even
+#: with the watchdog disabled.  Hitting any ceiling ends the run with
+#: ``finished=False`` and a ``cycle_ceiling`` counter instead of hanging.
+DEFAULT_MAX_CYCLES = 10_000_000
 
 
 @dataclass
@@ -82,8 +86,12 @@ class GPU:
         compiled: CompiledKernel,
         workload: "Workload",
         storage_factory: Callable[[int, int], "OperandStorage"],
+        watchdog: Optional[Watchdog] = None,
     ):
         self.config = config
+        #: optional forward-progress monitor (repro.sim.watchdog); polled
+        #: every ``watchdog.config.check_interval`` run-loop iterations.
+        self.watchdog = watchdog
         self.compiled = compiled
         self.workload = workload
         self.oracle = workload.oracle()
@@ -109,7 +117,8 @@ class GPU:
 
     # -- run loop -----------------------------------------------------------------
 
-    def run(self, window_series: Sequence[str] = ()) -> SimStats:
+    def run(self, window_series: Sequence[str] = (),
+            max_cycles: Optional[int] = None) -> SimStats:
         # The loop body runs once per simulated cycle; everything it touches
         # repeatedly is bound to a local first.
         cfg = self.config
@@ -124,7 +133,18 @@ class GPU:
         counters = self.counters
         working_set = self.working_set
         warps_total = sum(len(sm.warps) for sm in sms)
-        max_cycles = cfg.max_cycles
+        if max_cycles is None:
+            max_cycles = cfg.max_cycles
+        if not max_cycles or max_cycles <= 0:
+            # Safety ceiling: a config that disables the limit must still
+            # terminate eventually (satisfied by the watchdog long before
+            # this in monitored runs).
+            max_cycles = DEFAULT_MAX_CYCLES
+        watchdog = self.watchdog
+        if watchdog is not None:
+            watchdog.start(self)
+            wd_every = watchdog.config.check_interval
+            wd_left = wd_every
         fast_forward = cfg.fast_forward
         track_ws = cfg.track_working_set
         instructions = 0
@@ -157,6 +177,11 @@ class GPU:
                 and not self._work_outstanding()
             ):
                 break
+            if watchdog is not None:
+                wd_left -= 1
+                if wd_left <= 0:
+                    wd_left = wd_every
+                    watchdog.poll(self, wheel.now, instructions)
 
             wheel.tick()
             # Demand-clocked pump: with no queued request the hierarchy can
@@ -228,6 +253,12 @@ class GPU:
             for shard in sm.shards:
                 shard.storage.finalize()
 
+        finished = all(sm.done for sm in self.sms)
+        if not finished and wheel.now >= max_cycles:
+            # The safety ceiling (not natural completion) ended the run;
+            # make that visible in counters instead of failing silently.
+            self.counters.inc("cycle_ceiling")
+
         stall_reports, stalls = self._collect_stalls(wheel.now)
         warps_done = sum(sm.warps_done for sm in self.sms)
         warps_total = sum(len(sm.warps) for sm in self.sms)
@@ -237,7 +268,7 @@ class GPU:
             warps_done=warps_done,
             warps_total=warps_total,
             counters=self.counters.as_dict(),
-            finished=all(sm.done for sm in self.sms),
+            finished=finished,
             working_set_samples=ws_samples,
             window_series=series,
             stalls=stalls,
@@ -285,7 +316,16 @@ class GPU:
                         f"inflight={w.inflight}"
                     )
         detail = "; ".join(stuck[:8])
-        raise SimDeadlock(f"no progress possible; stuck warps: {detail}")
+        watchdog = self.watchdog
+        if watchdog is not None:
+            watchdog.trips += 1
+        raise SimulationHang(
+            "wheel_empty",
+            cycle=self.wheel.now,
+            wall_seconds=watchdog.wall_seconds() if watchdog else 0.0,
+            diagnostics=snapshot_diagnostics(self),
+            detail=f"no progress possible; stuck warps: {detail}",
+        )
 
 
 def run_simulation(
@@ -294,7 +334,15 @@ def run_simulation(
     workload: "Workload",
     storage_factory: Callable[[int, int], "OperandStorage"],
     window_series: Sequence[str] = (),
+    watchdog: Optional[Watchdog] = None,
+    max_cycles: Optional[int] = None,
 ) -> SimStats:
-    """Convenience wrapper: build a GPU and run it."""
-    gpu = GPU(config, compiled, workload, storage_factory)
-    return gpu.run(window_series=window_series)
+    """Convenience wrapper: build a GPU and run it.
+
+    ``watchdog`` attaches a forward-progress monitor
+    (:mod:`repro.sim.watchdog`); ``max_cycles`` overrides the config's
+    safety ceiling for this run only.  Either way the run is bounded: a
+    config with no ceiling falls back to :data:`DEFAULT_MAX_CYCLES`.
+    """
+    gpu = GPU(config, compiled, workload, storage_factory, watchdog=watchdog)
+    return gpu.run(window_series=window_series, max_cycles=max_cycles)

@@ -1,0 +1,377 @@
+"""Forward-progress watchdog and invariant sanitizer for the simulator.
+
+RegLess's capacity manager must guarantee forward progress (the paper
+reserves MRU warp entries precisely so admission can never deadlock,
+section 4.3) — but a *buggy* backend, scheduler, or wake path can
+livelock the simulator in ways the event loop cannot see: a CM that
+never admits, a ``notify_wake`` that never fires, a storage that reports
+background work forever and defeats the dead-cycle fast-forward.  The
+watchdog turns those silent hangs into a structured
+:class:`SimulationHang` carrying the full state a human (or CI log)
+needs to diagnose them:
+
+* the stall-attribution snapshot (which bins the warps are stuck in),
+* per-shard ready/parked sets and the pending wake heap,
+* the capacity manager's blocked-candidate memo and per-state counts.
+
+Three trip conditions, all cheap enough to leave on by default in test
+harnesses (the run loop polls every ``check_interval`` iterations, so
+the steady-state overhead is a couple of integer ops per cycle):
+
+``no_progress``   the simulated clock advanced ``no_progress_cycles``
+                  cycles without a single instruction issuing anywhere
+                  (the no-retirement window);
+``wall_clock``    the run exceeded ``max_wall_seconds`` of host time;
+``cycle_ceiling`` the run exceeded the watchdog's own ``max_cycles``.
+
+The **invariant sanitizer** (:func:`check_invariants`) is opt-in
+(``WatchdogConfig(invariants=True)``): at every poll it cross-checks the
+event-driven issue core's redundant state — ready/parked disjointness,
+scoreboard consistency, OSU capacity conservation — and trips with
+reason ``invariant`` on the first violation.  It is pure observation:
+a clean run with the sanitizer enabled produces bit-identical
+:class:`~repro.sim.gpu.SimStats`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .gpu import GPU
+
+__all__ = [
+    "SimDeadlock",
+    "SimulationHang",
+    "Watchdog",
+    "WatchdogConfig",
+    "check_invariants",
+    "snapshot_diagnostics",
+]
+
+
+class SimDeadlock(RuntimeError):
+    """No warp can ever make progress again."""
+
+
+class SimulationHang(SimDeadlock):
+    """A watchdog trip: the simulation stopped making forward progress.
+
+    ``diagnostics`` is the JSON-serializable state snapshot from
+    :func:`snapshot_diagnostics`; ``reason`` is one of ``no_progress``,
+    ``wall_clock``, ``cycle_ceiling``, ``invariant`` or ``wheel_empty``.
+    """
+
+    def __init__(self, reason: str, cycle: int = 0,
+                 wall_seconds: float = 0.0,
+                 diagnostics: Optional[Dict[str, object]] = None,
+                 detail: str = ""):
+        self.reason = reason
+        self.cycle = cycle
+        self.wall_seconds = wall_seconds
+        self.diagnostics = diagnostics or {}
+        self.detail = detail
+        headline = f"simulation hang ({reason}) at cycle {cycle}"
+        if detail:
+            headline = f"{headline}: {detail}"
+        super().__init__(headline)
+
+    def __reduce__(self):
+        # Exceptions pickle by re-calling ``cls(*args)``; preserve the
+        # structured fields across the worker-process boundary.
+        return (
+            SimulationHang,
+            (self.reason, self.cycle, self.wall_seconds,
+             self.diagnostics, self.detail),
+        )
+
+
+@dataclass(frozen=True)
+class WatchdogConfig:
+    """Knobs of the forward-progress monitor (see docs/robustness.md)."""
+
+    #: absolute simulated-cycle ceiling enforced by the watchdog (raises,
+    #: unlike ``GPUConfig.max_cycles`` which stops and returns).
+    max_cycles: Optional[int] = None
+    #: host wall-clock budget for one run.
+    max_wall_seconds: Optional[float] = None
+    #: trip when this many simulated cycles pass without any instruction
+    #: issuing anywhere on the GPU (the no-retirement window).
+    no_progress_cycles: int = 200_000
+    #: poll every N run-loop iterations (cycles or fast-forward jumps).
+    check_interval: int = 4096
+    #: run :func:`check_invariants` at every poll.
+    invariants: bool = False
+
+
+class Watchdog:
+    """Cheap forward-progress monitor hooked into ``GPU.run``.
+
+    One instance per run.  ``clock`` is injectable for deterministic
+    wall-clock tests.  ``polls`` / ``trips`` are observable afterwards;
+    a clean run ends with ``trips == 0`` (a trip raises, so a returned
+    ``SimStats`` implies zero trips).
+    """
+
+    def __init__(self, config: Optional[WatchdogConfig] = None,
+                 clock: Callable[[], float] = time.perf_counter):
+        self.config = config or WatchdogConfig()
+        self._clock = clock
+        self.polls = 0
+        self.trips = 0
+        self._start_wall = 0.0
+        self._last_instructions = -1
+        self._progress_cycle = 0
+
+    def start(self, gpu: "GPU") -> None:
+        self._start_wall = self._clock()
+        self._last_instructions = -1
+        self._progress_cycle = 0
+
+    def wall_seconds(self) -> float:
+        return self._clock() - self._start_wall
+
+    def poll(self, gpu: "GPU", now: int, instructions: int) -> None:
+        """Check every trip condition; raises :class:`SimulationHang`."""
+        self.polls += 1
+        cfg = self.config
+        if instructions != self._last_instructions:
+            self._last_instructions = instructions
+            self._progress_cycle = now
+        elif now - self._progress_cycle >= cfg.no_progress_cycles:
+            self._trip(
+                gpu, "no_progress", now,
+                f"no instruction issued for {now - self._progress_cycle} "
+                f"cycles (window {cfg.no_progress_cycles})",
+            )
+        if cfg.max_cycles is not None and now >= cfg.max_cycles:
+            self._trip(gpu, "cycle_ceiling", now,
+                       f"exceeded watchdog max_cycles={cfg.max_cycles}")
+        if cfg.max_wall_seconds is not None:
+            wall = self.wall_seconds()
+            if wall >= cfg.max_wall_seconds:
+                self._trip(
+                    gpu, "wall_clock", now,
+                    f"{wall:.2f}s wall-clock exceeds "
+                    f"max_wall_seconds={cfg.max_wall_seconds}",
+                )
+        if cfg.invariants:
+            problems = check_invariants(gpu)
+            if problems:
+                self._trip(gpu, "invariant", now, "; ".join(problems[:4]))
+
+    def _trip(self, gpu: "GPU", reason: str, now: int, detail: str) -> None:
+        self.trips += 1
+        diag = snapshot_diagnostics(gpu)
+        summary = _hang_summary(diag)
+        if summary:
+            detail = f"{detail} [{summary}]"
+        raise SimulationHang(
+            reason, cycle=now, wall_seconds=self.wall_seconds(),
+            diagnostics=diag, detail=detail,
+        )
+
+
+# -- diagnostics --------------------------------------------------------------
+
+
+def _json_num(value):
+    """inf/-inf (the CM's _NEVER sentinels) are not JSON; map to None."""
+    if isinstance(value, float) and (value != value or value in
+                                     (float("inf"), float("-inf"))):
+        return None
+    return value
+
+
+def _cm_snapshot(cm) -> Dict[str, object]:
+    """The capacity manager's admission state, including the
+    blocked-candidate memo (why admission is not being retried)."""
+    states: Dict[str, int] = {}
+    for ctx in cm.ctx.values():
+        key = ctx.state.value
+        states[key] = states.get(key, 0) + 1
+    return {
+        "stack": list(cm.stack),
+        "reserved": list(cm.reserved),
+        "states": states,
+        "preloading": cm._preloading_count,
+        "stall_cycles": cm._stall_cycles,
+        "memo_blocked": cm._memo_blocked,
+        "accrued_to": _json_num(cm._accrued_to),
+        "aging_at": _json_num(cm._aging_at),
+        "emergency_at": _json_num(cm._emergency_at),
+    }
+
+
+def snapshot_diagnostics(gpu: "GPU") -> Dict[str, object]:
+    """A JSON-serializable snapshot of everything hang-relevant: per-shard
+    parked sets and wake heaps, the CM blocked-candidate memo, and the
+    stall-attribution bins accumulated so far."""
+    wheel = gpu.wheel
+    shards = []
+    merged_stalls: Dict[str, int] = {}
+    for sm in gpu.sms:
+        for shard in sm.shards:
+            parked: Dict[str, List[int]] = {}
+            for warp in shard.warps:
+                if not warp.ready and warp.park_bin is not None:
+                    parked.setdefault(warp.park_bin, []).append(warp.wid)
+            dominant = max(parked, key=lambda b: len(parked[b]), default=None)
+            entry: Dict[str, object] = {
+                "sm": sm.sm_id,
+                "shard": shard.shard_id,
+                "storage": shard.storage.name,
+                "storage_idle": bool(shard.storage.idle),
+                "ready": sorted(w.wid for w in shard._ready),
+                "parked": {b: sorted(v) for b, v in parked.items()},
+                "dominant_stall": dominant,
+                "wake_heap": [
+                    [t, wid] for t, wid, _ in sorted(shard._wake_heap)[:8]
+                ],
+                "wake_heap_depth": len(shard._wake_heap),
+            }
+            tracker = shard.stalls
+            if tracker is not None:
+                bins = dict(tracker.bins)
+                entry["stall_bins"] = bins
+                for reason, count in bins.items():
+                    merged_stalls[reason] = merged_stalls.get(reason, 0) + count
+            cm = getattr(shard.storage, "cm", None)
+            if cm is not None:
+                entry["cm"] = _cm_snapshot(cm)
+            shards.append(entry)
+    dominant = None
+    candidates = [s for s in shards if s["dominant_stall"] is not None]
+    if candidates:
+        worst = max(
+            candidates,
+            key=lambda s: sum(len(v) for v in s["parked"].values()),
+        )
+        dominant = {
+            "sm": worst["sm"],
+            "shard": worst["shard"],
+            "stall": worst["dominant_stall"],
+        }
+    return {
+        "cycle": wheel.now,
+        "pending_events": wheel.pending_events,
+        "next_event_cycle": wheel.next_event_cycle(),
+        "warps_done": gpu.warps_done_total,
+        "warps_total": sum(len(sm.warps) for sm in gpu.sms),
+        "hierarchy_pending": gpu.hierarchy.pending_total,
+        "dominant": dominant,
+        "stalls": merged_stalls,
+        "shards": shards,
+    }
+
+
+def _hang_summary(diag: Dict[str, object]) -> str:
+    dom = diag.get("dominant")
+    if not dom:
+        return ""
+    return (f"sm{dom['sm']}.shard{dom['shard']} dominated by "
+            f"'{dom['stall']}'")
+
+
+# -- invariant sanitizer ------------------------------------------------------
+
+
+def check_invariants(gpu: "GPU") -> List[str]:
+    """Cross-check the issue core's redundant state; returns violation
+    descriptions (empty on a healthy GPU).  Pure observation — safe to
+    call between any two cycles."""
+    problems: List[str] = []
+    for sm in gpu.sms:
+        for shard in sm.shards:
+            tag = f"sm{sm.sm_id}.shard{shard.shard_id}"
+            ready = shard._ready
+            n_parked = 0
+            for warp in shard.warps:
+                in_set = warp in ready
+                if warp.ready != in_set:
+                    problems.append(
+                        f"{tag}: warp {warp.wid} ready flag "
+                        f"{warp.ready} != set membership {in_set}"
+                    )
+                if warp.ready:
+                    if warp.park_bin is not None:
+                        problems.append(
+                            f"{tag}: ready warp {warp.wid} still carries "
+                            f"park_bin {warp.park_bin!r}"
+                        )
+                else:
+                    n_parked += 1
+                    if warp.park_bin is None:
+                        problems.append(
+                            f"{tag}: parked warp {warp.wid} has no park_bin"
+                        )
+                # Scoreboard consistency: in-flight write-backs and the
+                # pending maps must agree.
+                if warp.inflight < 0:
+                    problems.append(
+                        f"{tag}: warp {warp.wid} negative inflight "
+                        f"{warp.inflight}"
+                    )
+                if warp.inflight == 0 and (warp.pending_regs
+                                           or warp.pending_preds):
+                    problems.append(
+                        f"{tag}: warp {warp.wid} has pending writes with "
+                        f"inflight == 0"
+                    )
+                for reg in warp.pending_loads:
+                    if reg not in warp.pending_regs:
+                        problems.append(
+                            f"{tag}: warp {warp.wid} pending load r{reg} "
+                            f"missing from scoreboard"
+                        )
+            histo = sum(shard._parked_bins.values())
+            if histo != n_parked:
+                problems.append(
+                    f"{tag}: parked histogram {histo} != parked warps "
+                    f"{n_parked}"
+                )
+            problems.extend(_check_storage_invariants(tag, shard.storage))
+    return problems
+
+
+def _check_storage_invariants(tag: str, storage) -> List[str]:
+    """OSU capacity conservation for RegLess backends (duck-typed so the
+    sanitizer works on any storage without importing repro.regless)."""
+    problems: List[str] = []
+    cm = getattr(storage, "cm", None)
+    osu = getattr(storage, "osu", None)
+    if cm is None or osu is None:
+        return problems
+    expect = [0] * len(cm.reserved)
+    for wid, ctx in cm.ctx.items():
+        if ctx.reserved is not None:
+            for b, need in enumerate(ctx.reserved):
+                expect[b] += need
+    if expect != list(cm.reserved):
+        problems.append(
+            f"{tag}: CM reservation totals {cm.reserved} != per-warp sum "
+            f"{expect}"
+        )
+    for b, reserved in enumerate(cm.reserved):
+        if reserved < 0:
+            problems.append(f"{tag}: CM bank {b} negative reservation "
+                            f"{reserved}")
+    for b, bank in enumerate(osu.banks):
+        active = len(bank.tags) - len(bank.clean) - len(bank.dirty)
+        if active < 0:
+            problems.append(
+                f"{tag}: OSU bank {b} has more clean+dirty entries "
+                f"({len(bank.clean)}+{len(bank.dirty)}) than tags "
+                f"({len(bank.tags)})"
+            )
+        for key in bank.clean:
+            if key not in bank.tags:
+                problems.append(f"{tag}: OSU bank {b} clean key {key} "
+                                f"missing tag")
+        for key in bank.dirty:
+            if key not in bank.tags:
+                problems.append(f"{tag}: OSU bank {b} dirty key {key} "
+                                f"missing tag")
+    return problems

@@ -8,7 +8,7 @@ import pytest
 DOCS = ["README.md", "DESIGN.md", "EXPERIMENTS.md",
         "docs/architecture.md", "docs/compiler.md", "docs/hardware.md",
         "docs/observability.md", "docs/performance.md",
-        "docs/simulator.md", "docs/workloads.md",
+        "docs/robustness.md", "docs/simulator.md", "docs/workloads.md",
         "examples/README.md"]
 
 

@@ -133,6 +133,23 @@ def test_fuzz_rfv_matches_baseline_accesses(workload):
     assert rfv.counter("rfv_read") == base.counter("rf_read")
 
 
+@given(fuzz_workload(), st.integers(500, 4000))
+@settings(max_examples=10, deadline=None)
+def test_fuzz_cycle_ceiling_always_bounds(workload, ceiling):
+    """No workload can spin past the safety ceiling, and a run that does
+    finish under it never reports a ceiling hit."""
+    ck = compile_kernel(workload.kernel())
+    stats = run_simulation(FAST, ck, workload, lambda sm, sh: BaselineRF(),
+                           max_cycles=ceiling)
+    # bounded: the loop stops at the ceiling, modulo one fast-forward jump
+    assert stats.cycles <= ceiling + 1024
+    if stats.finished:
+        assert stats.counter("cycle_ceiling") == 0
+    else:
+        assert stats.cycles >= ceiling
+        assert stats.counter("cycle_ceiling") == 1
+
+
 @given(fuzz_workload())
 @settings(max_examples=10, deadline=None)
 def test_fuzz_regalloc_preserves_dynamics(workload):
