@@ -28,6 +28,7 @@ from ..isa.kernel import Kernel
 from ..isa.registers import Reg
 from .domtree import postdominator_tree
 from .liveness import Liveness
+from .metadata import n_metadata_slots
 from .regions import Region, RegionConfig
 
 __all__ = ["Preload", "RegionAnnotations", "annotate_regions"]
@@ -70,21 +71,10 @@ class RegionAnnotations:
 def _metadata_instruction_count(
     n_insns: int, n_preloads: int, n_invalidates: int
 ) -> int:
-    """Metadata overhead in instruction slots (paper section 5.4).
-
-    A region normally starts with one flag instruction carrying the bank
-    usage plus up to 3 preloads/cache invalidations; each further metadata
-    instruction carries 3 more.  Every 9 region instructions need one
-    last-use marker instruction.  Small regions (<= 4 instructions, <= 2
-    preloads+invalidations) use a compact single-instruction encoding.
-    """
-    events = n_preloads + n_invalidates
-    if n_insns <= 4 and events <= 2:
-        return 1
-    extra_events = max(0, events - 3)
-    event_insns = 1 + (extra_events + 2) // 3
-    lastuse_insns = (n_insns + 8) // 9
-    return event_insns + lastuse_insns
+    """Metadata overhead in instruction slots (paper section 5.4); the
+    formula lives in :func:`repro.compiler.metadata.n_metadata_slots`,
+    mirroring the word-by-word encoder exactly."""
+    return n_metadata_slots(n_insns, n_preloads + n_invalidates)
 
 
 def _last_references(

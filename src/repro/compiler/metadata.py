@@ -21,13 +21,16 @@ Layout (one choice consistent with the paper's counts):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Tuple
 
-from .annotations import RegionAnnotations
+if TYPE_CHECKING:  # pragma: no cover - circular at runtime (annotations
+    # imports the slot-count formula from here); signatures only.
+    from .annotations import RegionAnnotations
 
 __all__ = [
     "MetadataWord",
     "encode_region_metadata",
+    "n_metadata_slots",
     "METADATA_BITS_PER_INSN",
     "BANK_USAGE_BITS",
     "EVENT_BITS",
@@ -79,6 +82,23 @@ def encode_region_metadata(ann: RegionAnnotations, n_insns: int) -> List[Metadat
         words.append(MetadataWord("lastuse", batch * LASTUSE_BITS_PER_INSN))
         insns_left -= batch
     return words
+
+
+def n_metadata_slots(n_insns: int, n_events: int) -> int:
+    """Slot count of :func:`encode_region_metadata`, in closed form.
+
+    One flag instruction carries the bank usage plus up to 3
+    preload/invalidate events; each further event instruction carries 3
+    more; every 9 region instructions need one last-use marker.  Small
+    regions (<= 4 instructions, <= 2 events) use the compact
+    single-instruction encoding.
+    """
+    if n_insns <= 4 and n_events <= 2:
+        return 1
+    extra_events = max(0, n_events - 3)
+    event_insns = 1 + (extra_events + 2) // 3
+    lastuse_insns = (n_insns + 8) // 9
+    return event_insns + lastuse_insns
 
 
 def metadata_overhead(ann: RegionAnnotations, n_insns: int) -> Tuple[int, int]:

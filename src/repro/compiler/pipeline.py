@@ -33,13 +33,19 @@ class CompiledKernel:
     def __post_init__(self) -> None:
         self._region_of_pc: List[int] = [-1] * self.kernel.num_instructions
         for region in self.regions:
-            for pc in range(region.start_pc, region.end_pc):
+            for pc in region.pcs():
                 self._region_of_pc[pc] = region.rid
         self._regions_of_block: Dict[str, List[int]] = {}
         for region in self.regions:
             self._regions_of_block.setdefault(region.block, []).append(region.rid)
 
     # -- lookups --------------------------------------------------------------
+
+    def region_id_of_pc(self, pc: int) -> int:
+        """The rid owning ``pc``, or -1 when no region covers it (total
+        lookup used by the execution JIT; :meth:`region_of_pc` keeps the
+        raising contract for callers that require coverage)."""
+        return self._region_of_pc[pc]
 
     def region_of_pc(self, pc: int) -> Region:
         rid = self._region_of_pc[pc]

@@ -103,6 +103,11 @@ class Region:
     def contains_pc(self, pc: int) -> bool:
         return self.start_pc <= pc < self.end_pc
 
+    def pcs(self) -> range:
+        """The region's straight-line pc sequence (start inclusive,
+        end exclusive)."""
+        return range(self.start_pc, self.end_pc)
+
     def __repr__(self) -> str:
         return (
             f"Region({self.rid}, {self.block}, pc=[{self.start_pc},"

@@ -173,7 +173,21 @@ def _bench_payload(
 ) -> Dict[str, object]:
     """The ``--json`` measurement record (``BENCH_*.json`` format)."""
     runs = []
+    jit_agg = {"armed_shards": 0, "shards": 0, "compile_s": 0.0,
+               "steps": 0, "issued_via_jit": 0, "fallback_issued": 0}
     for req, res, wall in zip(requests, serial, serial_wall):
+        jit = dict(getattr(res, "jit", None) or {})
+        for key, val in jit.items():
+            if not key.endswith(".armed"):
+                continue
+            prefix = key[: -len("armed")]
+            jit_agg["shards"] += 1
+            jit_agg["armed_shards"] += int(bool(val))
+            jit_agg["compile_s"] += float(jit.get(prefix + "compile_s", 0.0))
+            jit_agg["steps"] += int(jit.get(prefix + "steps", 0))
+            jit_agg["issued_via_jit"] += int(jit.get(prefix + "issued", 0))
+            jit_agg["fallback_issued"] += int(
+                jit.get(prefix + "fallback_issued", 0))
         runs.append({
             "benchmark": req.benchmark,
             "backend": req.backend,
@@ -183,7 +197,9 @@ def _bench_payload(
             "warps_done": res.stats.warps_done,
             "cycles_per_sec": round(res.stats.cycles / max(wall, 1e-9), 1),
             "stall_warp_cycles": sum(res.stats.stalls.values()),
+            "jit": jit,
         })
+    jit_agg["compile_s"] = round(jit_agg["compile_s"], 4)
     return {
         "benchmarks": list(names),
         "backends": list(backends),
@@ -196,6 +212,7 @@ def _bench_payload(
         },
         "serial_equals_parallel": serial_parallel_ok,
         "warm_equals_serial": warm_ok,
+        "jit": jit_agg,
         "runs": runs,
     }
 

@@ -129,10 +129,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--backends",
         nargs="*",
-        choices=BACKENDS + ("regless-nc",),
+        choices=BACKENDS + ("regless-nc", "all"),
         default=None,
         help="for 'bench': backend subset (default: the four paper "
-             "backends; pass all five to include regless-nc)",
+             "backends; 'all' expands to all five including regless-nc)",
     )
     parser.add_argument(
         "--json",
@@ -195,9 +195,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 def _dispatch(args: argparse.Namespace) -> int:
     if args.experiment == "bench":
         names = args.names if args.names is not None else (args.benchmarks or None)
+        backends = args.backends or BACKENDS
+        if "all" in backends:
+            backends = BACKENDS + ("regless-nc",)
         print(run_bench(
             names=names,
-            backends=args.backends or BACKENDS,
+            backends=backends,
             jobs=args.jobs,
             json_path=args.json_path,
         ))

@@ -53,6 +53,13 @@ class RFVStorage(OperandStorage):
         self._mapped: Set[Tuple[int, int]] = set()
         self._blocked_since: int = -1
         self._emergency = False
+        #: per-warp mapping-state version; any mutation of a warp's
+        #: mappings bumps it, invalidating that warp's cached need count.
+        self._need_ver: Dict[int, int] = {}
+        #: wid -> (insn, version, need) — a pressure-blocked warp calls
+        #: ``_needed_allocations`` for the same instruction every cycle
+        #: (can_issue + stall_reason) until something actually changes.
+        self._need_cache: Dict[int, Tuple[Instruction, int, int]] = {}
 
     # -- allocation bookkeeping ----------------------------------------------
 
@@ -61,13 +68,20 @@ class RFVStorage(OperandStorage):
         return len(self._mapped)
 
     def _needed_allocations(self, warp: "Warp", insn: Instruction) -> int:
+        wid = warp.wid
+        ver = self._need_ver.get(wid, 0)
+        hit = self._need_cache.get(wid)
+        if hit is not None and hit[0] is insn and hit[1] == ver:
+            return hit[2]
         need = 0
+        mapped = self._mapped
         for r in insn.reg_srcs:
-            if (warp.wid, r.index) not in self._mapped:
+            if (wid, r.index) not in mapped:
                 need += 1  # first touch (kernel parameter): map on read
         for r in insn.reg_dsts:
-            if (warp.wid, r.index) not in self._mapped:
+            if (wid, r.index) not in mapped:
                 need += 1
+        self._need_cache[wid] = (insn, ver, need)
         return need
 
     # -- issue-path hooks -------------------------------------------------------
@@ -108,6 +122,7 @@ class RFVStorage(OperandStorage):
             self.counters.inc("rfv_read")
         for r in insn.reg_dsts:
             self._mapped.add((wid, r.index))
+        self._need_ver[wid] = self._need_ver.get(wid, 0) + 1
 
     def on_writeback(self, warp: "Warp", pc: int, insn: Instruction) -> None:
         wid = warp.wid
@@ -118,7 +133,9 @@ class RFVStorage(OperandStorage):
             self._mapped.discard((wid, r.index))
         if self._emergency and self.allocated <= self.capacity:
             self._emergency = False
+        self._need_ver[wid] = self._need_ver.get(wid, 0) + 1
 
     def on_warp_exit(self, warp: "Warp") -> None:
         wid = warp.wid
         self._mapped = {(w, r) for (w, r) in self._mapped if w != wid}
+        self._need_ver[wid] = self._need_ver.get(wid, 0) + 1

@@ -11,11 +11,17 @@ dispatch resolved ahead of time: immediates become shared pre-built
 the opcode ``if``-chain disappears entirely.  The simulator then executes
 the same few hundred static instructions hundreds of thousands of times at
 one indirect call each.
+
+Plans are deduplicated *globally* by instruction content (``Instruction``
+hashes over opcode/operands/guard/target/tag): two ``Instruction`` objects
+spelling the same operation — the same kernel compiled in different worker
+processes, or re-unpickled from the result cache — share one compiled plan
+instead of recompiling per object.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..isa.instructions import Instruction
 from ..isa.opcodes import Opcode
@@ -95,17 +101,21 @@ def _build_plan(insn: Instruction) -> _Plan:
 
     if op is Opcode.MOV or op is Opcode.CVT:
         return f0
-    if op is Opcode.IADD or op is Opcode.FADD:
-        # Float adds keep integer-affine structure only approximately; treat
-        # as structure-preserving like IADD (compression sees raw bits of
-        # counters/addresses most often).
+    if op is Opcode.IADD:
         return lambda warp: f0(warp).add(f1(warp))
+    if op is Opcode.FADD:
+        # Float adds preserve affine structure only while every lane stays
+        # inside the float32-exact integer range; LaneValues.float_add holds
+        # the explicit degrade-to-RANDOM rule.
+        return lambda warp: f0(warp).float_add(f1(warp))
     if op is Opcode.ISUB:
         return lambda warp: f0(warp).sub(f1(warp))
     if op is Opcode.IMUL or op is Opcode.FMUL:
         return lambda warp: f0(warp).mul(f1(warp))
-    if op is Opcode.IMAD or op is Opcode.FFMA:
+    if op is Opcode.IMAD:
         return lambda warp: f0(warp).mul(f1(warp)).add(f2(warp))
+    if op is Opcode.FFMA:
+        return lambda warp: f0(warp).mul(f1(warp)).float_add(f2(warp))
     if op is Opcode.SHL:
         return lambda warp: f0(warp).shl(f1(warp))
     salt = _SALTS.get(op, 0x3F)
@@ -122,10 +132,28 @@ def _build_plan(insn: Instruction) -> _Plan:
     return chain
 
 
+# Content-keyed plan store: ``Instruction`` hashes/compares over its static
+# fields only, so equal instructions from different kernels (or different
+# unpicklings of the same kernel) land on one plan.  The cap is a leak guard
+# for pathological generators, far above any real program's footprint.
+_PLAN_CACHE: Dict[Instruction, _Plan] = {}
+_PLAN_CACHE_MAX = 8192
+
+
+def _plan_for(insn: Instruction) -> _Plan:
+    plan = _PLAN_CACHE.get(insn)
+    if plan is None:
+        if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
+            _PLAN_CACHE.clear()
+        plan = _build_plan(insn)
+        _PLAN_CACHE[insn] = plan
+    object.__setattr__(insn, "exec_plan", plan)  # frozen: cache slot
+    return plan
+
+
 def compute_result(warp: Warp, insn: Instruction) -> Optional[LaneValues]:
     """Destination value for a (non-memory, non-control) instruction."""
     plan = insn.exec_plan
     if plan is None:
-        plan = _build_plan(insn)
-        object.__setattr__(insn, "exec_plan", plan)  # frozen: cache slot
+        plan = _plan_for(insn)
     return plan(warp)

@@ -9,6 +9,8 @@ memory-latency-bound phases dramatically without changing results.
 
 from __future__ import annotations
 
+import gc
+
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -119,6 +121,29 @@ class GPU:
 
     def run(self, window_series: Sequence[str] = (),
             max_cycles: Optional[int] = None) -> SimStats:
+        # Arm the region JIT first (specialized per-pc issue steps; see
+        # repro.sim.regionjit).  Arming inspects instance-level overrides,
+        # so anything a tracer/fault wedge installed before run() is seen;
+        # per-shard incompatibilities fall back to the interpreter.  The
+        # simulated results are bit-identical either way.
+        from . import regionjit
+
+        regionjit.arm_gpu(self)
+        # The cycle loop allocates heavily (writeback continuations, scan
+        # snapshots, per-cycle bin dicts) but almost everything dies by
+        # refcount; generational GC only adds full-heap scans to the hot
+        # loop.  Pause it for the run, restore on the way out.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run(window_series, max_cycles)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run(self, window_series: Sequence[str] = (),
+             max_cycles: Optional[int] = None) -> SimStats:
         # The loop body runs once per simulated cycle; everything it touches
         # repeatedly is bound to a local first.
         cfg = self.config
@@ -299,6 +324,15 @@ class GPU:
                     self.metrics.inc(f"{scope.path}.{reason}", count)
         return reports, merge_stalls(reports)
 
+    def collect_jit(self) -> Dict[str, object]:
+        """Flat ``sm{i}.shard{j}.jit.*`` observability paths for the region
+        JIT (armed/fallback reasons, compile time, issue counters).  Kept
+        out of :class:`SimStats` so wall-clock-dependent values never enter
+        the bit-identity contract."""
+        from . import regionjit
+
+        return regionjit.collect_jit(self)
+
     def _work_outstanding(self) -> bool:
         return (
             self.wheel.pending_events > 0
@@ -336,6 +370,7 @@ def run_simulation(
     window_series: Sequence[str] = (),
     watchdog: Optional[Watchdog] = None,
     max_cycles: Optional[int] = None,
+    jit_out: Optional[Dict[str, object]] = None,
 ) -> SimStats:
     """Convenience wrapper: build a GPU and run it.
 
@@ -343,6 +378,11 @@ def run_simulation(
     (:mod:`repro.sim.watchdog`); ``max_cycles`` overrides the config's
     safety ceiling for this run only.  Either way the run is bounded: a
     config with no ceiling falls back to :data:`DEFAULT_MAX_CYCLES`.
+    ``jit_out``, when given, receives the region-JIT observability paths
+    (:meth:`GPU.collect_jit`) after the run.
     """
     gpu = GPU(config, compiled, workload, storage_factory, watchdog=watchdog)
-    return gpu.run(window_series=window_series, max_cycles=max_cycles)
+    stats = gpu.run(window_series=window_series, max_cycles=max_cycles)
+    if jit_out is not None:
+        jit_out.update(gpu.collect_jit())
+    return stats

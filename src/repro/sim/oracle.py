@@ -19,7 +19,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from .values import LaneValues, mix_hash as _mix
+from .values import LaneValues, mix_hash as _mix, mix_hash_lanes as _mix_lanes
+
+try:  # pragma: no cover - exercised only where numpy is installed
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+if _np is not None:
+    #: per-lane bit weights for packing a boolean lane vector into a mask.
+    _LANE_BITS = (_np.uint64(1) << _np.arange(32, dtype=_np.uint64))
 
 __all__ = [
     "FULL_MASK",
@@ -70,14 +79,18 @@ class DivergentLoopExit(PredBehavior):
     max_trips: int
 
     def mask(self, warp_id: int, count: int, seed: int) -> int:
-        mask = 0
         span = max(1, self.max_trips - self.min_trips + 1)
         phase = count % max(1, self.max_trips)
-        for lane in range(32):
-            trip = self.min_trips + _mix(seed, warp_id, lane, 7) % span
-            if phase >= trip - 1:
-                mask |= 1 << lane
-        return mask
+        if _np is None:
+            mask = 0
+            for lane in range(32):
+                trip = self.min_trips + _mix(seed, warp_id, lane, 7) % span
+                if phase >= trip - 1:
+                    mask |= 1 << lane
+            return mask
+        trips = self.min_trips + _mix_lanes((seed, warp_id), (7,)) % span
+        exited = phase >= trips.astype(_np.int64) - 1
+        return int((exited * _LANE_BITS).sum())
 
 
 @dataclass(frozen=True)
@@ -88,11 +101,14 @@ class BernoulliLanes(PredBehavior):
 
     def mask(self, warp_id: int, count: int, seed: int) -> int:
         threshold = int(self.p * 0x10000)
-        mask = 0
-        for lane in range(32):
-            if _mix(seed, warp_id, count, lane, 11) % 0x10000 < threshold:
-                mask |= 1 << lane
-        return mask
+        if _np is None:
+            mask = 0
+            for lane in range(32):
+                if _mix(seed, warp_id, count, lane, 11) % 0x10000 < threshold:
+                    mask |= 1 << lane
+            return mask
+        draws = _mix_lanes((seed, warp_id, count), (11,)) % 0x10000
+        return int(((draws < threshold) * _LANE_BITS).sum())
 
 
 @dataclass(frozen=True)

@@ -407,10 +407,18 @@ class TwoLevelScheduler(WarpScheduler):
         self._pending: List[Warp] = list(warps[active_size:])
         self._now = 0
         self._dirty = False
+        #: a warp exited since the last purge.  ``notify_exit`` fires
+        #: synchronously (shard._park) before any later ``_refill``, so
+        #: this flag being clear proves neither pool holds a done warp and
+        #: the purge list rebuilds can be skipped.
+        self._done_dirty = False
 
     def order(self, cycle: int) -> Iterable[Warp]:
         # Seed-compatible view (tests, fallback paths; not the hot path).
+        # Callers of the seed API may flip ``warp.exited`` without routing
+        # through notify_exit, so force the full purge here.
         self._now = cycle
+        self._done_dirty = True
         self._refill()
         return list(self._active)
 
@@ -431,8 +439,10 @@ class TwoLevelScheduler(WarpScheduler):
         return _TwoLevelScan(self)
 
     def _refill(self) -> None:
-        self._active = [w for w in self._active if not w.done]
-        self._pending = [w for w in self._pending if not w.done]
+        if self._done_dirty:
+            self._done_dirty = False
+            self._active = [w for w in self._active if not w.done]
+            self._pending = [w for w in self._pending if not w.done]
         while len(self._active) < self.active_size and self._pending:
             warp = self._pending.pop(0)
             warp.stall_until = max(
@@ -453,6 +463,7 @@ class TwoLevelScheduler(WarpScheduler):
 
     def notify_exit(self, warp: Warp) -> None:
         self._dirty = True
+        self._done_dirty = True
 
     def eligible(self, warp: Warp) -> bool:
         return warp in self._active

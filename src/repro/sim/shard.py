@@ -455,7 +455,8 @@ class Shard:
         classify = self._classify
         storage_parkable = self.storage.parkable
         demotes = self.scheduler.demotes
-        issued_set = set(issued_warps) if issued_warps else ()
+        # At most issue_width (=2) entries: a list scan beats a set alloc.
+        issued_set = issued_warps
         to_park = None
         for warp in self._ready:
             if warp in issued_set:

@@ -1,0 +1,113 @@
+"""Scalar reference semantics for the vectorized lane domain.
+
+``repro.sim.values`` materializes RANDOM lanes and divergent line addresses
+as batched numpy expressions.  This module preserves the pre-vectorization
+scalar implementations — independent re-statements of the contract, not
+imports of the production code — so the Hypothesis suite in
+``test_values_equivalence.py`` can check the two bit-for-bit.
+
+Everything here is deliberately the *slow obvious* version: explicit Python
+loops, one lane at a time, exact integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.isa.registers import WARP_WIDTH
+from repro.sim.values import FLOAT32_EXACT, LaneValues
+
+MASK32 = 0xFFFFFFFF
+_FNV_BASIS = 0x811C9DC5
+_FNV_PRIME = 0x01000193
+
+
+def naive_mix_hash(*parts: int) -> int:
+    """One-part-at-a-time FNV fold (the ``mix_hash`` contract)."""
+    h = _FNV_BASIS
+    for p in parts:
+        h ^= p & MASK32
+        h = (h * _FNV_PRIME) & MASK32
+    return h
+
+
+def naive_mix_hash_lanes(
+    prefix: Sequence[int], suffix: Sequence[int] = (), n: int = WARP_WIDTH
+) -> List[int]:
+    """``mix_hash_lanes`` contract: element ``i`` is
+    ``mix_hash(*prefix, i, *suffix)``."""
+    return [naive_mix_hash(*prefix, i, *suffix) for i in range(n)]
+
+
+def naive_lane(v: LaneValues, i: int) -> int:
+    """Concrete value of lane ``i`` from the closed form."""
+    if v.is_uniform:
+        return v.base
+    if v.is_affine:
+        return (v.base + v.stride * i) & MASK32
+    return naive_mix_hash(v.tag, i)
+
+
+def naive_lanes(v: LaneValues) -> List[int]:
+    """All lanes, one scalar evaluation per lane."""
+    return [naive_lane(v, i) for i in range(WARP_WIDTH)]
+
+
+def naive_coalesced_lines(
+    v: LaneValues, line_bytes: int, divergent_lines: int = 32
+) -> int:
+    """Distinct cache lines touched when ``v`` is a byte address."""
+    if v.is_uniform:
+        return 1
+    if v.is_affine:
+        stride = abs(v.stride)
+        span = stride * (WARP_WIDTH - 1)
+        first = v.base // line_bytes
+        last = (v.base + span) // line_bytes
+        return int(last - first + 1)
+    return max(1, min(WARP_WIDTH, divergent_lines))
+
+
+def naive_line_addresses(
+    v: LaneValues, line_bytes: int, divergent_lines: int = 32
+) -> List[int]:
+    """Distinct line-aligned addresses (the pre-vectorization loop)."""
+    if v.is_uniform:
+        return [v.base - v.base % line_bytes]
+    if v.is_affine:
+        n = naive_coalesced_lines(v, line_bytes)
+        first = v.base - v.base % line_bytes
+        step = line_bytes if v.stride >= 0 else -line_bytes
+        return [(first + step * i) & MASK32 for i in range(n)]
+    n = max(1, min(WARP_WIDTH, divergent_lines))
+    return [(naive_mix_hash(v.tag, i) * line_bytes) & MASK32 for i in range(n)]
+
+
+def _signed32(v: int) -> int:
+    v &= MASK32
+    return v - 0x100000000 if v >= 0x80000000 else v
+
+
+def naive_f32_exact(base: int, stride: int) -> bool:
+    """Every lane of ``AFFINE(base, stride)``, read as signed 32-bit, fits
+    exactly in a float32 mantissa (|value| <= 2**24) — checked lane by
+    lane, no shortcuts."""
+    return all(
+        -FLOAT32_EXACT <= _signed32(base + stride * i) <= FLOAT32_EXACT
+        for i in range(WARP_WIDTH)
+    )
+
+
+def naive_float_add_kind(a: LaneValues, b: LaneValues) -> str:
+    """Which shape ``a.float_add(b)`` must produce: ``"add"`` (the shared
+    integer-add tag path), ``"affine"`` (structure preserved; includes the
+    uniform collapse), or ``"random"`` (float rounding degrade)."""
+    if a.is_random or b.is_random:
+        return "add"
+    if (
+        naive_f32_exact(a.base, a.stride)
+        and naive_f32_exact(b.base, b.stride)
+        and naive_f32_exact(a.base + b.base, a.stride + b.stride)
+    ):
+        return "affine"
+    return "random"

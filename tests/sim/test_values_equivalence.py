@@ -1,0 +1,177 @@
+"""Vectorized lane semantics == scalar reference, property-checked.
+
+The production domain in ``repro.sim.values`` expands RANDOM lanes and
+divergent line addresses with batched numpy FNV chains; the scalar
+reference lives in ``tests/sim/naive_values.py``.  Hypothesis drives both
+over the full parameter space (negative and unbounded strides, boundary
+bases, odd line sizes) and requires bit identity.
+
+Also home of the FADD degrade-to-RANDOM regression tests: float adds keep
+their affine structure only while every lane of both operands and the sum
+stays inside the float32-exact integer range (|v| <= 2**24).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.registers import WARP_WIDTH
+from repro.sim.values import (
+    FLOAT32_EXACT,
+    LaneValues,
+    mix_hash,
+    mix_hash_lanes,
+)
+
+from .naive_values import (
+    naive_coalesced_lines,
+    naive_f32_exact,
+    naive_float_add_kind,
+    naive_lane,
+    naive_lanes,
+    naive_line_addresses,
+    naive_mix_hash,
+    naive_mix_hash_lanes,
+)
+
+MASK = 0xFFFFFFFF
+
+# Bases/strides cover the small values real kernels produce AND the
+# extremes: 32-bit boundary bases, negative strides, and strides past the
+# int32 range (which force the exact-arithmetic fallback in ``lanes``).
+bases = st.one_of(
+    st.integers(0, 2**32 - 1),
+    st.sampled_from([0, 1, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF]),
+)
+strides = st.one_of(
+    st.integers(-64, 64),
+    st.integers(-(2**34), 2**34),
+)
+tags = st.integers(0, 2**32 - 1)
+
+lane_values = st.one_of(
+    bases.map(LaneValues.uniform),
+    st.tuples(bases, strides).map(lambda t: LaneValues.affine(*t)),
+    tags.map(LaneValues.random),
+)
+
+line_sizes = st.sampled_from([1, 4, 32, 64, 128, 256, (1 << 30) + 128])
+
+
+class TestHashEquivalence:
+    @given(st.lists(st.integers(0, 2**40), max_size=4),
+           st.lists(st.integers(0, 2**40), max_size=4),
+           st.integers(1, 2 * WARP_WIDTH))
+    @settings(max_examples=200)
+    def test_mix_hash_lanes_matches_scalar(self, prefix, suffix, n):
+        got = mix_hash_lanes(tuple(prefix), tuple(suffix), n=n)
+        assert [int(x) for x in got] == naive_mix_hash_lanes(prefix, suffix, n)
+
+    @given(st.lists(st.integers(-(2**40), 2**40), max_size=6))
+    @settings(max_examples=200)
+    def test_mix_hash_matches_reference(self, parts):
+        assert mix_hash(*parts) == naive_mix_hash(*parts)
+
+
+class TestLaneEquivalence:
+    @given(lane_values)
+    @settings(max_examples=300)
+    def test_lanes_match_naive(self, v):
+        assert [int(x) for x in v.lanes()] == naive_lanes(v)
+
+    @given(lane_values, st.integers(0, WARP_WIDTH - 1))
+    @settings(max_examples=200)
+    def test_lane_matches_naive(self, v, i):
+        assert v.lane(i) == naive_lane(v, i)
+
+    @given(lane_values)
+    @settings(max_examples=200)
+    def test_lanes_equals_per_lane_loop(self, v):
+        got = [int(x) for x in v.lanes()]
+        assert got == [v.lane(i) for i in range(WARP_WIDTH)]
+
+
+# Address expansion enumerates one entry per touched line, so keep the
+# affine span sane (real kernels stride by a few words); huge strides are
+# still covered by the count-only coalesced_lines test below.
+addr_values = st.one_of(
+    bases.map(LaneValues.uniform),
+    st.tuples(bases, st.integers(-256, 256)).map(
+        lambda t: LaneValues.affine(*t)
+    ),
+    tags.map(LaneValues.random),
+)
+
+
+class TestAddressEquivalence:
+    @given(addr_values, line_sizes, st.integers(1, 32))
+    @settings(max_examples=300, deadline=None)
+    def test_line_addresses_match_naive(self, v, line_bytes, divergent):
+        got = [int(x) for x in v.line_addresses(line_bytes, divergent)]
+        assert got == naive_line_addresses(v, line_bytes, divergent)
+
+    @given(lane_values, line_sizes, st.integers(1, 32))
+    @settings(max_examples=200)
+    def test_coalesced_lines_match_naive(self, v, line_bytes, divergent):
+        assert (v.coalesced_lines(line_bytes, divergent)
+                == naive_coalesced_lines(v, line_bytes, divergent))
+
+
+class TestFloatAddDegrade:
+    """The FADD affine-preservation boundary (values.float_add)."""
+
+    def test_uniform_at_exact_boundary_stays_uniform(self):
+        a = LaneValues.uniform(FLOAT32_EXACT)
+        r = a.float_add(LaneValues.uniform(0))
+        assert r.is_uniform and r.base == FLOAT32_EXACT
+
+    def test_uniform_past_boundary_degrades(self):
+        a = LaneValues.uniform(FLOAT32_EXACT + 1)
+        r = a.float_add(LaneValues.uniform(0))
+        assert r.is_random
+
+    def test_affine_lane31_at_boundary_stays_affine(self):
+        a = LaneValues.affine(FLOAT32_EXACT - (WARP_WIDTH - 1), 1)
+        r = a.float_add(LaneValues.uniform(0))
+        assert r.is_affine and r.lane(WARP_WIDTH - 1) == FLOAT32_EXACT
+
+    def test_affine_lane31_past_boundary_degrades(self):
+        a = LaneValues.affine(FLOAT32_EXACT - (WARP_WIDTH - 2), 1)
+        r = a.float_add(LaneValues.uniform(0))
+        assert r.is_random
+
+    def test_sum_crossing_boundary_degrades_even_if_operands_exact(self):
+        a = LaneValues.uniform(FLOAT32_EXACT - 1)
+        b = LaneValues.uniform(2)
+        assert a.float_add(b).is_random
+
+    def test_negative_boundary_is_symmetric(self):
+        ok = LaneValues.uniform((-FLOAT32_EXACT) & MASK)
+        assert ok.float_add(LaneValues.uniform(0)).is_uniform
+        over = LaneValues.uniform((-FLOAT32_EXACT - 1) & MASK)
+        assert over.float_add(LaneValues.uniform(0)).is_random
+
+    def test_degrade_tag_is_deterministic(self):
+        a = LaneValues.uniform(FLOAT32_EXACT + 7)
+        b = LaneValues.affine(3, 5)
+        r1, r2 = a.float_add(b), a.float_add(b)
+        assert r1.is_random and r1.tag == r2.tag
+
+    @given(lane_values, lane_values)
+    @settings(max_examples=300)
+    def test_float_add_shape_matches_reference(self, a, b):
+        r = a.float_add(b)
+        kind = naive_float_add_kind(a, b)
+        if kind == "add":
+            i = a.add(b)
+            assert r.kind is i.kind and r.tag == i.tag and r.base == i.base
+        elif kind == "affine":
+            assert not r.is_random
+            for lane in (0, 1, 13, WARP_WIDTH - 1):
+                assert r.lane(lane) == (a.lane(lane) + b.lane(lane)) & MASK
+        else:
+            assert r.is_random
+
+    @given(st.integers(-(2**32), 2**32), st.integers(-(2**8), 2**8))
+    @settings(max_examples=200)
+    def test_f32_exact_matches_reference(self, base, stride):
+        from repro.sim.values import _f32_exact
+        assert _f32_exact(base, stride) == naive_f32_exact(base, stride)
