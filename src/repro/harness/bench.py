@@ -174,9 +174,18 @@ def _bench_payload(
     """The ``--json`` measurement record (``BENCH_*.json`` format)."""
     runs = []
     jit_agg = {"armed_shards": 0, "shards": 0, "compile_s": 0.0,
-               "steps": 0, "issued_via_jit": 0, "fallback_issued": 0}
+               "steps": 0, "issued_via_jit": 0, "fallback_issued": 0,
+               "runs_with_jit": 0, "runs_missing_jit": 0}
     for req, res, wall in zip(requests, serial, serial_wall):
-        jit = dict(getattr(res, "jit", None) or {})
+        # A run replayed from a PR-5-era cache entry predates the ``jit``
+        # field entirely, and a ``REPRO_JIT=0`` run records an empty dict;
+        # neither may crash the grid aggregate — skip it and count it.
+        raw = getattr(res, "jit", None)
+        jit = dict(raw) if isinstance(raw, dict) else {}
+        if jit:
+            jit_agg["runs_with_jit"] += 1
+        else:
+            jit_agg["runs_missing_jit"] += 1
         for key, val in jit.items():
             if not key.endswith(".armed"):
                 continue

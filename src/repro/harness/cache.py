@@ -173,13 +173,23 @@ class ResultCache:
         return os.path.join(self.root, digest[:2], f"{digest}.pkl")
 
     def _evict_corrupt(self, path: str, reason: str) -> None:
+        """Remove a corrupt entry, tolerating a concurrent eviction.
+
+        Several workers can read the same corrupt entry and race to
+        unlink it; only the one whose unlink actually removed the file
+        counts the eviction, so ``corrupt_evictions`` summed across
+        processes is exactly one per corrupt entry — and the losers'
+        ``FileNotFoundError`` never escapes to kill the run (both still
+        record a miss in :meth:`get`)."""
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            return  # a concurrent worker evicted it first
+        except OSError:
+            pass  # unwritable store: still a miss, and we did see it
         self.corrupt_evictions += 1
         if self.metrics is not None:
             self.metrics.inc("corrupt_evictions")
-        try:
-            os.unlink(path)
-        except OSError:
-            pass  # already gone, or unwritable store: still a miss
 
     def get(self, digest: str) -> Optional["RunResult"]:
         """The cached result, or ``None``.

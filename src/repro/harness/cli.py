@@ -84,12 +84,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(_RENDER) + ["all", "validate", "seeds", "robustness",
-                                   "export", "bench", "stalls", "trace"],
+                                   "export", "bench", "stalls", "trace",
+                                   "serve"],
         help="which table/figure to regenerate ('validate' checks the "
              "paper's claims; 'bench' times the execution layer; 'stalls' "
              "prints the warp-cycle stall breakdown; 'trace' records a "
              "pipeline trace; 'seeds' runs the seed-stability study — "
-             "'robustness' is its deprecated alias)",
+             "'robustness' is its deprecated alias; 'serve' starts the "
+             "simulation-service daemon, see docs/service.md)",
     )
     parser.add_argument(
         "benchmarks",
@@ -175,6 +177,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="run under cProfile and print the hottest functions",
     )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="for 'serve': bind address (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="for 'serve': TCP port; 0 picks a free port and prints it "
+             "(default 8787)",
+    )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="for 'serve': directory for the persisted job queue — "
+             "enables graceful drain/restart (default: in-memory only)",
+    )
+    parser.add_argument(
+        "--batch-runs",
+        type=int,
+        default=32,
+        metavar="N",
+        help="for 'serve': max unique runs per scheduler batch "
+             "(default 32)",
+    )
     args = parser.parse_args(argv)
 
     if args.profile:
@@ -216,6 +245,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
         if args.timeout is not None:
             watchdog = WatchdogConfig(max_wall_seconds=args.timeout)
+
+    if args.experiment == "serve":
+        return _serve(args, policy, watchdog)
     runner = SuiteRunner(
         cache=False if args.no_cache else None, jobs=args.jobs,
         policy=policy, watchdog=watchdog,
@@ -257,6 +289,9 @@ def _dispatch_runner(args: argparse.Namespace, runner: SuiteRunner,
         return 0 if all(c.ok for c in claims) else 1
     if args.experiment in ("seeds", "robustness"):
         if args.experiment == "robustness":
+            # stdout is machine-parsed by pipelines; the deprecation note
+            # must go to stderr so the alias's stdout stays byte-identical
+            # to the `seeds` verb (regression: tests/harness/test_cli_seeds_alias.py).
             print(
                 "note: the 'robustness' verb is deprecated (it now names "
                 "the resilience layer, see docs/robustness.md); use "
@@ -276,6 +311,28 @@ def _dispatch_runner(args: argparse.Namespace, runner: SuiteRunner,
         print(run_experiment(target, runner, names))
         print()
     return 0
+
+
+def _serve(args: argparse.Namespace, policy, watchdog) -> int:
+    """The ``serve`` verb: run the simulation-service daemon until a
+    SIGTERM/SIGINT-triggered graceful drain completes."""
+    from ..service import ServiceConfig
+    from ..service.app import serve as serve_daemon
+    from .parallel import resolve_jobs
+
+    state_path = None
+    if args.state_dir:
+        os.makedirs(args.state_dir, exist_ok=True)
+        state_path = os.path.join(args.state_dir, "service-state.json")
+    config = ServiceConfig(
+        jobs=resolve_jobs(args.jobs),
+        max_batch_runs=max(1, args.batch_runs),
+        policy=policy,
+        watchdog=watchdog,
+        state_path=state_path,
+        cache=False if args.no_cache else None,
+    )
+    return serve_daemon(host=args.host, port=args.port, config=config)
 
 
 def _trace(runner: SuiteRunner, names: List[str], backend: str,

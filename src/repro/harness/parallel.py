@@ -112,8 +112,30 @@ class RunRequest:
 
     @property
     def key(self) -> str:
-        """The ``benchmark/backend`` form fault specs match against."""
+        """The ``benchmark/backend`` form fault specs match against.
+
+        This is a *grouping* key (several grid cells share it); the full
+        per-cell identity is :attr:`identity`.
+        """
         return f"{self.benchmark}/{self.backend}"
+
+    @property
+    def identity(self) -> str:
+        """Content digest over every request field.
+
+        Two requests are the same run iff their identities match, and the
+        digest is stable across pickling and process boundaries — the
+        invariant the service's cross-client admission dedupe relies on
+        (equal identities collapse to one execution)."""
+        h = hashlib.sha256()
+        h.update(repr((
+            self.benchmark,
+            self.backend,
+            int(self.osu_entries),
+            tuple(self.window_series),
+            tuple(self.overrides),
+        )).encode())
+        return h.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -297,6 +319,7 @@ def run_requests_resilient(
     metrics: Optional["MetricScope"] = None,
     sleep: Callable[[float], None] = time.sleep,
     clock: Callable[[], float] = time.monotonic,
+    on_outcome: Optional[Callable[[int, RunOutcome], None]] = None,
 ) -> List[RunOutcome]:
     """Run the grid with timeouts, retries, and dead-worker recovery.
 
@@ -304,14 +327,36 @@ def run_requests_resilient(
     :class:`RunOutcome` (request order).  ``metrics`` (a
     :class:`~repro.obs.metrics.MetricScope`) receives ``grid.*`` failure
     events.  ``sleep``/``clock`` are injectable for tests.
+
+    Identical requests (equal :class:`RunRequest` fields, hence equal
+    :attr:`RunRequest.identity`) **dedupe to one execution**: only the
+    first occurrence is submitted, and every duplicate receives its own
+    :class:`RunOutcome` sharing the executed result (``grid.deduped`` is
+    emitted per duplicate).
+
+    ``on_outcome`` is called as ``on_outcome(index, outcome)`` the moment
+    a request reaches its terminal outcome — out of request order, from
+    the calling thread.  This is the streaming hook the async service
+    layer bridges onto an event loop; callbacks must not block.
     """
     policy = policy or FaultPolicy()
     n = len(requests)
     if n == 0:
         return []
-    jobs = min(resolve_jobs(jobs), n)
     tracked = [_Tracked(req) for req in requests]
-    queue: deque = deque(range(n))  # indices ready to submit now
+    # Dedupe identical requests: the first occurrence is the primary and
+    # the only one executed; duplicates fan in at finalize time.
+    primary_of: Dict[RunRequest, int] = {}
+    duplicates: Dict[int, List[int]] = {}
+    primaries: List[int] = []
+    for i, req in enumerate(requests):
+        first = primary_of.setdefault(req, i)
+        if first == i:
+            primaries.append(i)
+        else:
+            duplicates.setdefault(first, []).append(i)
+    jobs = min(resolve_jobs(jobs), len(primaries))
+    queue: deque = deque(primaries)  # indices ready to submit now
     waiting: List[Tuple[float, int]] = []  # (eligible_at, index) backoff heap
     inflight: Dict[Any, Tuple[int, Optional[float]]] = {}  # fut -> (idx, deadline)
     done_count = 0
@@ -340,6 +385,22 @@ def run_requests_resilient(
         )
         done_count += 1
         emit(f"grid.{status}")
+        if on_outcome is not None:
+            on_outcome(idx, t.outcome)
+        for dup in duplicates.get(idx, ()):
+            d = tracked[dup]
+            d.outcome = RunOutcome(
+                request=d.request,
+                status=status,
+                result=result,
+                attempts=t.attempts,
+                retried=max(0, t.attempts - 1),
+                error=t.last_error,
+            )
+            done_count += 1
+            emit("grid.deduped")
+            if on_outcome is not None:
+                on_outcome(dup, d.outcome)
 
     def record_failure(idx: int, kind: str, error: str, now: float) -> None:
         t = tracked[idx]

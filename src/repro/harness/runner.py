@@ -388,6 +388,7 @@ class SuiteRunner:
         self,
         requests: Iterable[RequestLike],
         jobs: Optional[int] = None,
+        on_outcome: Optional[Callable[[int, RunOutcome], None]] = None,
     ) -> List[RunOutcome]:
         """Resilient grid execution: one terminal
         :class:`~repro.harness.parallel.RunOutcome` per request, never an
@@ -399,18 +400,28 @@ class SuiteRunner:
         and the runner's watchdog config.  Successful runs are installed
         in the memo and disk cache regardless of how the rest of the grid
         fared, so partial results always survive.
+
+        ``on_outcome(index, outcome)`` fires the moment each request
+        reaches its terminal outcome — hits immediately, executed runs as
+        they complete (out of request order), duplicates when their
+        primary resolves.  Successful results are already installed in
+        the memo/disk cache by the time the callback sees them, so a
+        streaming consumer observes the same state a later ``run`` would.
         """
         reqs = [self._normalize(r) for r in requests]
         for req in reqs:
             if req.backend not in BACKENDS + ("regless-nc",):
                 raise ValueError(f"unknown backend {req.backend!r}")
+        deliver = on_outcome if on_outcome is not None else (lambda i, o: None)
         outcomes: Dict[int, RunOutcome] = {}
         pending: List[Tuple[int, RunRequest]] = []
         seen: Dict[RunRequest, int] = {}
+        pending_by_req: Dict[RunRequest, List[int]] = {}
         for i, req in enumerate(reqs):
             key = self._memo_key(req)
             if key in self._runs:
                 outcomes[i] = RunOutcome(req, RunOutcome.OK, self._runs[key])
+                deliver(i, outcomes[i])
                 continue
             if self.cache is not None:
                 t0 = time.perf_counter()
@@ -419,33 +430,40 @@ class SuiteRunner:
                     cached.timings["cache_load"] = time.perf_counter() - t0
                     result = self._install(req, cached, store=False)
                     outcomes[i] = RunOutcome(req, RunOutcome.OK, result)
+                    deliver(i, outcomes[i])
                     continue
             if req not in seen:
                 seen[req] = i
             pending.append((i, req))
+            pending_by_req.setdefault(req, []).append(i)
 
         unique = [(i, req) for i, req in pending if seen.get(req) == i]
         jobs_n = resolve_jobs(jobs if jobs is not None else self.jobs)
         by_req: Dict[RunRequest, RunOutcome] = {}
+
+        def resolve(req: RunRequest, out: RunOutcome) -> None:
+            if out.ok and out.result is not None:
+                self._install(req, out.result)
+            by_req[req] = out
+            for i in pending_by_req[req]:
+                deliver(i, out)
+
         if unique:
             if jobs_n <= 1 or len(unique) == 1:
                 for _, req in unique:
-                    by_req[req] = self._execute_resilient(req)
+                    resolve(req, self._execute_resilient(req))
             else:
-                outs = run_requests_resilient(
+                unique_reqs = [req for _, req in unique]
+                run_requests_resilient(
                     self.base_config,
                     self.energy_model.params,
-                    [req for _, req in unique],
+                    unique_reqs,
                     jobs=jobs_n,
                     policy=self.policy,
                     watchdog=self.watchdog,
                     metrics=self._metrics_scope,
+                    on_outcome=lambda pos, out: resolve(unique_reqs[pos], out),
                 )
-                for (_, req), out in zip(unique, outs):
-                    by_req[req] = out
-            for req, out in by_req.items():
-                if out.ok and out.result is not None:
-                    self._install(req, out.result)
         for i, req in pending:
             outcomes[i] = by_req[req]
         return [outcomes[i] for i in range(len(reqs))]

@@ -169,6 +169,23 @@ class MetricsRegistry:
                 node[leaf] = value
         return root
 
+    def render_text(self, prefix: str = "") -> str:
+        """Counters and gauges as sorted ``path value`` lines.
+
+        The service's ``GET /metrics`` endpoint serves this (optionally
+        restricted to one subtree, e.g. ``service``) — a flat, stable,
+        line-oriented format that survives piping and diffing."""
+        dotted = prefix + "." if prefix else ""
+        lines = []
+        for path, value in sorted(self.as_dict().items()):
+            if prefix and not (path == prefix or path.startswith(dotted)):
+                continue
+            if isinstance(value, float) and value.is_integer():
+                lines.append(f"{path} {int(value)}")
+            else:
+                lines.append(f"{path} {value}")
+        return "\n".join(lines)
+
     def merge(self, other: "MetricsRegistry") -> None:
         for path, value in other.counters.items():
             self.counters[path] = self.counters.get(path, 0.0) + value

@@ -1,0 +1,339 @@
+"""The asyncio HTTP/JSON front end of the simulation service.
+
+A deliberately small HTTP/1.1 implementation over ``asyncio.start_server``
+— the container ships no web framework, and the API surface is five
+routes:
+
+* ``POST /jobs``                — submit a grid spec, returns the job.
+* ``GET  /jobs``                — list jobs (summaries).
+* ``GET  /jobs/<id>``           — one job's status and per-run progress.
+* ``GET  /jobs/<id>/events``    — NDJSON stream: completed outcomes are
+  replayed, live ones arrive as they land, a terminal ``job`` event ends
+  the stream.
+* ``GET  /jobs/<id>/result``    — the finished job's full ``SimStats``
+  bundle (409 until it is terminal).
+* ``DELETE /jobs/<id>``         — cancel a queued/running job.
+* ``GET  /metrics``             — the ``repro.obs`` registry as text
+  (``?prefix=service`` restricts the subtree); ``/metrics.json`` for the
+  raw dict.
+* ``GET  /healthz``             — liveness + queue snapshot.
+
+Tenancy is taken from the ``X-Tenant`` header (default ``anon``).
+Error mapping: spec errors → 400, unknown job → 404, quota/rate → 429
+(with ``Retry-After``), draining → 503.
+
+``SIGTERM``/``SIGINT`` trigger graceful drain: in-flight runs finish and
+are cached, the queue is persisted, and a daemon restarted with the same
+``--state-dir`` resumes the remainder from the crash-safe result cache.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from .queue import DrainingError, ServiceConfig, ServiceEngine
+from .quotas import QuotaError, RateLimited
+from .schemas import SpecError, parse_job_spec, request_to_wire
+
+__all__ = ["ServiceApp", "serve"]
+
+_MAX_BODY = 8 * 1024 * 1024
+_MAX_HEADER = 64 * 1024
+
+
+class _HTTPError(Exception):
+    def __init__(self, status: int, message: str,
+                 headers: Optional[Dict[str, str]] = None):
+        super().__init__(message)
+        self.status = status
+        self.headers = headers or {}
+
+
+_REASONS = {
+    200: "OK", 201: "Created", 204: "No Content", 400: "Bad Request",
+    404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+def _json_bytes(payload: Any) -> bytes:
+    return (json.dumps(payload, sort_keys=True) + "\n").encode()
+
+
+class ServiceApp:
+    """HTTP façade over one :class:`ServiceEngine`."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 engine: Optional[ServiceEngine] = None):
+        self.engine = engine or ServiceEngine(config)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._draining = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> Tuple[str, int]:
+        """Start the engine and listen; returns the bound (host, port)."""
+        await self.engine.start()
+        self._server = await asyncio.start_server(self._handle, host, port)
+        sock = self._server.sockets[0]
+        bound = sock.getsockname()
+        return bound[0], bound[1]
+
+    async def shutdown(self, drain: bool = True) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            await self.engine.drain()
+        await self.engine.stop()
+
+    def request_drain(self) -> None:
+        """Signal-handler entry: flip the drain flag; the serve loop
+        notices and performs the orderly shutdown."""
+        self.engine.draining = True  # reject submits immediately
+        self._draining.set()
+
+    # -- request plumbing --------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, path, query, headers, body = await self._read_request(
+                    reader
+                )
+            except _HTTPError as err:
+                await self._send_error(writer, err)
+                return
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return
+            try:
+                await self._route(writer, method, path, query, headers, body)
+            except _HTTPError as err:
+                await self._send_error(writer, err)
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            except Exception as exc:  # noqa: BLE001 — daemon must not die
+                self.engine.metrics.inc("http.errors")
+                await self._send_error(
+                    writer,
+                    _HTTPError(500, f"{type(exc).__name__}: {exc}"),
+                )
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(self, reader) -> Tuple[str, str, Dict[str, list],
+                                                   Dict[str, str], bytes]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise ConnectionError("closed")
+        try:
+            method, target, _version = request_line.decode().split(None, 2)
+        except ValueError:
+            raise _HTTPError(400, "malformed request line")
+        headers: Dict[str, str] = {}
+        total = 0
+        while True:
+            line = await reader.readline()
+            total += len(line)
+            if total > _MAX_HEADER:
+                raise _HTTPError(400, "header section too large")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            raise _HTTPError(413, f"body exceeds {_MAX_BODY} bytes")
+        body = await reader.readexactly(length) if length else b""
+        parts = urlsplit(target)
+        return method.upper(), parts.path, parse_qs(parts.query), headers, body
+
+    async def _send(self, writer: asyncio.StreamWriter, status: int,
+                    body: bytes, content_type: str = "application/json",
+                    extra: Optional[Dict[str, str]] = None) -> None:
+        headers = {
+            "Content-Type": content_type,
+            "Content-Length": str(len(body)),
+            "Connection": "close",
+        }
+        headers.update(extra or {})
+        head = f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n" + \
+            "".join(f"{k}: {v}\r\n" for k, v in headers.items()) + "\r\n"
+        writer.write(head.encode() + body)
+        await writer.drain()
+
+    async def _send_error(self, writer, err: _HTTPError) -> None:
+        try:
+            await self._send(
+                writer, err.status,
+                _json_bytes({"error": str(err), "status": err.status}),
+                extra=err.headers,
+            )
+        except (ConnectionError, OSError):
+            pass
+
+    # -- routing -----------------------------------------------------------
+
+    async def _route(self, writer, method: str, path: str, query, headers,
+                     body: bytes) -> None:
+        self.engine.metrics.inc("http.requests")
+        parts = [p for p in path.split("/") if p]
+        if path == "/healthz" and method == "GET":
+            payload = self.engine.stats()
+            return await self._send(writer, 200, _json_bytes(payload))
+        if path in ("/metrics", "/metrics.json") and method == "GET":
+            prefix = (query.get("prefix") or [""])[0]
+            if path.endswith(".json"):
+                snapshot = self.engine.registry.as_dict()
+                if prefix:
+                    dotted = prefix + "."
+                    snapshot = {k: v for k, v in snapshot.items()
+                                if k == prefix or k.startswith(dotted)}
+                return await self._send(writer, 200, _json_bytes(snapshot))
+            text = self.engine.registry.render_text(prefix) + "\n"
+            return await self._send(writer, 200, text.encode(),
+                                    content_type="text/plain")
+        if parts[:1] == ["jobs"]:
+            if len(parts) == 1:
+                if method == "POST":
+                    return await self._submit(writer, headers, body)
+                if method == "GET":
+                    payload = [self.engine.describe(j.id)
+                               for j in self.engine.list_jobs()]
+                    return await self._send(writer, 200, _json_bytes(payload))
+                raise _HTTPError(405, f"{method} not allowed on /jobs")
+            job_id = parts[1]
+            if job_id not in self.engine.jobs:
+                raise _HTTPError(404, f"no such job {job_id!r}")
+            if len(parts) == 2:
+                if method == "GET":
+                    return await self._send(
+                        writer, 200,
+                        _json_bytes(self.engine.describe(job_id, runs=True)),
+                    )
+                if method == "DELETE":
+                    job = self.engine.cancel(job_id)
+                    return await self._send(
+                        writer, 200, _json_bytes(self.engine.describe(job.id))
+                    )
+                raise _HTTPError(405, f"{method} not allowed on /jobs/<id>")
+            if len(parts) == 3 and method == "GET":
+                if parts[2] == "events":
+                    return await self._stream_events(writer, job_id)
+                if parts[2] == "result":
+                    return await self._result(writer, job_id)
+        raise _HTTPError(404, f"no route for {method} {path}")
+
+    async def _submit(self, writer, headers, body: bytes) -> None:
+        try:
+            spec = json.loads(body.decode() or "null")
+        except ValueError:
+            raise _HTTPError(400, "body is not valid JSON")
+        try:
+            requests, priority, tags = parse_job_spec(spec)
+        except SpecError as err:
+            raise _HTTPError(400, str(err))
+        tenant = headers.get("x-tenant", "anon")
+        try:
+            job = self.engine.submit(requests, tenant=tenant,
+                                     priority=priority, tags=tags)
+        except DrainingError as err:
+            raise _HTTPError(503, str(err), {"Retry-After": "5"})
+        except RateLimited as err:
+            raise _HTTPError(
+                429, str(err),
+                {"Retry-After": f"{max(0.1, err.retry_after):.1f}"},
+            )
+        except QuotaError as err:
+            raise _HTTPError(429, str(err))
+        await self._send(writer, 201,
+                         _json_bytes(self.engine.describe(job.id)))
+
+    async def _result(self, writer, job_id: str) -> None:
+        job = self.engine.job(job_id)
+        if not job.terminal:
+            raise _HTTPError(
+                409,
+                f"job {job_id} is {job.status} "
+                f"({len(job.outcomes)}/{len(job.requests)} runs done)",
+            )
+        payload = {
+            "job": self.engine.describe(job_id),
+            "runs": [
+                {
+                    "request": request_to_wire(job.requests[i]),
+                    **{k: v for k, v in (job.outcomes.get(i) or {}).items()
+                       if k not in ("event", "request")},
+                }
+                for i in range(len(job.requests))
+            ],
+        }
+        await self._send(writer, 200, _json_bytes(payload))
+
+    async def _stream_events(self, writer, job_id: str) -> None:
+        """NDJSON event stream: replay, then live until terminal."""
+        replay, queue = self.engine.subscribe(job_id)
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Cache-Control: no-store\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode())
+        try:
+            for event in replay:
+                writer.write(_json_bytes(event))
+            await writer.drain()
+            while queue is not None:
+                event = await queue.get()
+                if event is None:
+                    break
+                writer.write(_json_bytes(event))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            if queue is not None:
+                self.engine.unsubscribe_queue(job_id, queue)
+
+
+def serve(host: str = "127.0.0.1", port: int = 8787,
+          config: Optional[ServiceConfig] = None,
+          announce=print) -> int:
+    """Blocking entry point used by ``python -m repro.harness serve``.
+
+    Prints the bound address (``port=0`` picks a free port), then runs
+    until SIGTERM/SIGINT completes a graceful drain."""
+
+    async def _main() -> None:
+        app = ServiceApp(config)
+        bound = await app.start(host, port)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, app.request_drain)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        announce(f"repro-service listening on http://{bound[0]}:{bound[1]}",
+                 flush=True)
+        await app._draining.wait()
+        announce("repro-service draining: finishing in-flight runs, "
+                 "persisting queue", flush=True)
+        await app.shutdown(drain=True)
+        announce("repro-service stopped", flush=True)
+
+    asyncio.run(_main())
+    return 0

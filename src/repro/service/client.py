@@ -1,0 +1,142 @@
+"""A small blocking client for the simulation service.
+
+Stdlib-only (``http.client``), usable from scripts, tests, and CI::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient("127.0.0.1", 8787, tenant="ci")
+    job = client.submit([{"benchmark": "bfs", "backend": "regless"}])
+    for event in client.events(job["id"]):      # streams NDJSON live
+        print(event["status"], event.get("request"))
+    result = client.result(job["id"])           # full SimStats bundle
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from ..harness.parallel import RunRequest
+from .schemas import request_to_wire
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+#: a run spec the client accepts: a wire dict or a RunRequest.
+RunSpec = Union[Dict[str, Any], RunRequest]
+
+
+class ServiceError(RuntimeError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after: Optional[float] = None):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """One service endpoint + tenant identity."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 tenant: str = "anon", timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Any] = None) -> Any:
+        conn = self._connect()
+        try:
+            payload = None if body is None else json.dumps(body)
+            conn.request(method, path, body=payload, headers={
+                "Content-Type": "application/json",
+                "X-Tenant": self.tenant,
+            })
+            response = conn.getresponse()
+            data = response.read()
+            if response.status >= 400:
+                raise self._error(response, data)
+            return json.loads(data) if data else None
+        finally:
+            conn.close()
+
+    @staticmethod
+    def _error(response, data: bytes) -> ServiceError:
+        try:
+            message = json.loads(data).get("error", data.decode())
+        except ValueError:
+            message = data.decode(errors="replace")
+        retry_after = response.getheader("Retry-After")
+        return ServiceError(
+            response.status, message,
+            retry_after=float(retry_after) if retry_after else None,
+        )
+
+    # -- API ---------------------------------------------------------------
+
+    def submit(self, runs: Sequence[RunSpec], priority: str = "batch",
+               tags: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """POST /jobs; returns the job summary (``job["id"]``...)."""
+        wire_runs: List[Dict[str, Any]] = [
+            request_to_wire(r) if isinstance(r, RunRequest) else dict(r)
+            for r in runs
+        ]
+        spec: Dict[str, Any] = {"runs": wire_runs, "priority": priority}
+        if tags:
+            spec["tags"] = tags
+        return self._request("POST", "/jobs", spec)
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """GET /jobs/<id>/result — raises :class:`ServiceError` 409 while
+        the job is still running."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """GET /jobs/<id>/events — yields NDJSON events until the stream
+        ends with the terminal ``{"event": "job", ...}`` record."""
+        conn = self._connect()
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events",
+                         headers={"X-Tenant": self.tenant})
+            response = conn.getresponse()
+            if response.status >= 400:
+                raise self._error(response, response.read())
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str) -> Dict[str, Any]:
+        """Stream events until the job is terminal, then fetch the result."""
+        for event in self.events(job_id):
+            if event.get("event") == "job":
+                break
+        return self.result(job_id)
+
+    def metrics(self, prefix: str = "") -> Dict[str, float]:
+        path = "/metrics.json" + (f"?prefix={prefix}" if prefix else "")
+        return self._request("GET", path)
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")

@@ -1,0 +1,515 @@
+"""Job store, priority scheduler, and drain/restart for the service.
+
+:class:`ServiceEngine` is the daemon's core and is HTTP-free: the app
+layer (:mod:`repro.service.app`) translates requests into these calls,
+and the whole engine is testable in-process on a plain event loop.
+
+Execution model
+---------------
+
+All engine state lives on the event-loop thread.  Simulation happens in
+**batches**: the scheduler drains the priority heap of (job, run) work
+items, dedupes them through the :class:`AdmissionController`, and hands
+the unique requests to one executor thread running
+:meth:`SuiteRunner.run_grid_outcomes` — cache hits return instantly,
+misses fan out over the resilient process pool, and every per-run
+outcome is marshalled back onto the loop via ``call_soon_threadsafe``
+the moment it lands (the ``on_outcome`` hook added to the harness for
+exactly this).  One batch runs at a time, so the :class:`SuiteRunner`
+never sees concurrent mutation; requests submitted while a batch is in
+flight either attach to its in-flight executions (admission dedupe) or
+queue for the next batch.
+
+The PR-5 resilience machinery is the service's SLO layer: the engine's
+``FaultPolicy``/``WatchdogConfig`` bound per-run wall-clock and retries,
+and quarantined/hung/crashed runs surface as per-run outcome events
+rather than wedging the daemon.
+
+Drain and restart
+-----------------
+
+``drain()`` stops batch launches, waits for the in-flight batch to
+finish (its results are installed in the crash-safe disk cache), and
+persists every job — finished ones with their recorded outcomes,
+unfinished ones with whatever outcomes they already collected.  A
+restarted engine re-enqueues only the missing runs; anything the
+previous life completed is served from the disk cache without
+re-simulation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import json
+import os
+import tempfile
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from ..harness.parallel import FaultPolicy, RunOutcome, RunRequest
+from ..harness.runner import SuiteRunner
+from ..obs.metrics import MetricsRegistry
+from ..sim.watchdog import WatchdogConfig
+from .admission import AdmissionController
+from .quotas import QuotaGate, TenantQuota
+from .schemas import job_to_wire, outcome_to_wire, request_from_wire, \
+    request_to_wire
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..harness.cache import ResultCache
+    from ..sim.config import GPUConfig
+
+__all__ = [
+    "DrainingError",
+    "Job",
+    "JobStore",
+    "Priority",
+    "ServiceConfig",
+    "ServiceEngine",
+]
+
+#: persisted job-store schema; bumped on layout changes.
+STORE_VERSION = 1
+
+
+class Priority:
+    """Priority classes, most urgent first."""
+
+    INTERACTIVE = "interactive"
+    BATCH = "batch"
+    BULK = "bulk"
+
+    ORDER = {INTERACTIVE: 0, BATCH: 1, BULK: 2}
+    NAMES = frozenset(ORDER)
+
+
+class DrainingError(RuntimeError):
+    """The daemon is draining and accepts no new jobs (HTTP 503)."""
+
+
+@dataclass
+class Job:
+    """One submitted grid spec and everything recorded about it."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    id: str
+    tenant: str
+    priority: str
+    requests: List[RunRequest]
+    tags: Dict[str, Any] = field(default_factory=dict)
+    status: str = QUEUED
+    created: float = 0.0
+    finished_at: float = 0.0
+    #: run index -> wire-form outcome record (see ``outcome_to_wire``) —
+    #: JSON-safe by construction, so persistence is a plain dump.
+    outcomes: Dict[int, Dict[str, Any]] = field(default_factory=dict)
+    error: str = ""
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in (self.DONE, self.FAILED, self.CANCELLED)
+
+    def missing_indices(self) -> List[int]:
+        return [i for i in range(len(self.requests)) if i not in self.outcomes]
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "id": self.id,
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "status": self.status,
+            "created": self.created,
+            "finished_at": self.finished_at,
+            "tags": dict(self.tags),
+            "error": self.error,
+            "requests": [request_to_wire(r) for r in self.requests],
+            "outcomes": {str(i): o for i, o in self.outcomes.items()},
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "Job":
+        return cls(
+            id=record["id"],
+            tenant=record["tenant"],
+            priority=record["priority"],
+            requests=[request_from_wire(r) for r in record["requests"]],
+            tags=dict(record.get("tags", {})),
+            status=record["status"],
+            created=record.get("created", 0.0),
+            finished_at=record.get("finished_at", 0.0),
+            outcomes={int(i): o for i, o in record.get("outcomes", {}).items()},
+            error=record.get("error", ""),
+        )
+
+
+class JobStore:
+    """Atomic JSON persistence for the job table (drain/restart)."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    def save(self, jobs: List[Job], seq: int) -> None:
+        payload = {
+            "version": STORE_VERSION,
+            "seq": seq,
+            "saved_at": time.time(),
+            "jobs": [job.to_record() for job in jobs],
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def load(self) -> Tuple[List[Job], int]:
+        try:
+            with open(self.path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            return [], 0
+        if payload.get("version") != STORE_VERSION:
+            return [], 0
+        jobs = [Job.from_record(r) for r in payload.get("jobs", [])]
+        return jobs, int(payload.get("seq", 0))
+
+
+@dataclass
+class ServiceConfig:
+    """Everything the engine needs besides an event loop."""
+
+    #: worker processes per batch (the harness process pool).
+    jobs: int = 1
+    #: unique runs handed to one executor batch at a time.
+    max_batch_runs: int = 32
+    #: default per-tenant limits (override per tenant via ``per_tenant``).
+    quota: TenantQuota = field(default_factory=TenantQuota)
+    per_tenant: Dict[str, TenantQuota] = field(default_factory=dict)
+    #: per-run SLO: wall-clock deadline, retries, quarantine (PR 5).
+    policy: Optional[FaultPolicy] = None
+    watchdog: Optional[WatchdogConfig] = None
+    #: job-store path for drain/restart; ``None`` = in-memory only.
+    state_path: Optional[str] = None
+    #: forwarded to :class:`SuiteRunner` (``None`` = default disk cache).
+    cache: Any = None
+    config: Optional["GPUConfig"] = None
+
+
+class ServiceEngine:
+    """The daemon core: submit/track/stream jobs, drain, restart."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None,
+                 runner: Optional[SuiteRunner] = None):
+        self.config = config or ServiceConfig()
+        self.runner = runner or SuiteRunner(
+            config=self.config.config,
+            cache=self.config.cache,
+            policy=self.config.policy,
+            watchdog=self.config.watchdog,
+        )
+        self.registry = MetricsRegistry()
+        self.metrics = self.registry.scope("service")
+        self.quotas = QuotaGate(self.config.quota, self.config.per_tenant)
+        self.admission = AdmissionController(self.metrics)
+        self.store = JobStore(self.config.state_path) \
+            if self.config.state_path else None
+        self.jobs: Dict[str, Job] = {}
+        self._order: List[str] = []  # submission order, for listings
+        self._seq = 0
+        #: priority heap of (class order, seq, job id, run index).
+        self._work: List[Tuple[int, int, str, int]] = []
+        self._wake = asyncio.Event()
+        self._subscribers: Dict[str, List[asyncio.Queue]] = {}
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service-batch"
+        )
+        self._scheduler_task: Optional[asyncio.Task] = None
+        self._batch_busy = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.draining = False
+        self._stopped = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Load persisted state and start the scheduler task."""
+        if self.store is not None:
+            jobs, seq = self.store.load()
+            self._seq = seq
+            resumed_runs = 0
+            for job in jobs:
+                self.jobs[job.id] = job
+                self._order.append(job.id)
+                if job.terminal:
+                    continue
+                job.status = Job.QUEUED
+                missing = job.missing_indices()
+                self.quotas.charge(job.tenant, len(missing))
+                for index in missing:
+                    self._admit_work(job, index)
+                resumed_runs += len(missing)
+                self.metrics.inc("jobs.resumed")
+            if resumed_runs:
+                self.metrics.inc("runs.resumed", resumed_runs)
+        self._scheduler_task = asyncio.ensure_future(self._scheduler())
+        self._wake.set()
+
+    async def stop(self) -> None:
+        """Stop without draining (tests; prefer :meth:`drain` + stop)."""
+        self._stopped = True
+        self._wake.set()
+        if self._scheduler_task is not None:
+            self._scheduler_task.cancel()
+            try:
+                await self._scheduler_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._executor.shutdown(wait=False)
+
+    async def drain(self) -> None:
+        """Graceful shutdown step 1: refuse new jobs, finish the in-flight
+        batch, persist every job.  Queued-but-unstarted work survives in
+        the store for the next life of the daemon."""
+        if not self.draining:
+            self.metrics.inc("drains")
+        self.draining = True  # the app's signal handler may have set it
+        self._wake.set()
+        await self._idle.wait()
+        self.persist()
+
+    def persist(self) -> None:
+        if self.store is not None:
+            self.store.save([self.jobs[j] for j in self._order], self._seq)
+
+    # -- submission and queries --------------------------------------------
+
+    def submit(self, requests: List[RunRequest], tenant: str = "anon",
+               priority: str = Priority.BATCH,
+               tags: Optional[Dict[str, Any]] = None) -> Job:
+        if self.draining or self._stopped:
+            raise DrainingError("service is draining; resubmit after restart")
+        if priority not in Priority.NAMES:
+            raise ValueError(f"unknown priority {priority!r}")
+        self.quotas.admit(tenant, len(requests))  # raises QuotaError/RateLimited
+        self._seq += 1
+        job = Job(
+            id=uuid.uuid4().hex[:12],
+            tenant=tenant,
+            priority=priority,
+            requests=list(requests),
+            tags=dict(tags or {}),
+            created=time.time(),
+        )
+        self.jobs[job.id] = job
+        self._order.append(job.id)
+        for index in range(len(job.requests)):
+            self._admit_work(job, index)
+        self.metrics.inc("jobs.submitted")
+        self.metrics.inc("runs.submitted", len(job.requests))
+        self.persist()
+        self._wake.set()
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        job = self.jobs[job_id]
+        if job.terminal:
+            return job
+        job.status = Job.CANCELLED
+        job.finished_at = time.time()
+        self.admission.unsubscribe(job_id)
+        self.quotas.release(job.tenant, len(job.requests))
+        self.metrics.inc("jobs.cancelled")
+        self.persist()
+        self._publish(job, {"event": "job", "id": job.id,
+                            "status": job.status}, final=True)
+        return job
+
+    def job(self, job_id: str) -> Job:
+        return self.jobs[job_id]
+
+    def list_jobs(self) -> List[Job]:
+        return [self.jobs[j] for j in self._order]
+
+    # -- event streams -----------------------------------------------------
+
+    def subscribe(self, job_id: str) -> Tuple[List[Dict[str, Any]],
+                                              Optional[asyncio.Queue]]:
+        """(replay of events so far, live queue or ``None`` if terminal).
+
+        The live queue yields event dicts and finally ``None``."""
+        job = self.jobs[job_id]
+        replay = [job.outcomes[i] for i in sorted(job.outcomes)]
+        if job.terminal:
+            replay = replay + [{"event": "job", "id": job.id,
+                                "status": job.status}]
+            return replay, None
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.setdefault(job_id, []).append(queue)
+        return replay, queue
+
+    def unsubscribe_queue(self, job_id: str, queue: asyncio.Queue) -> None:
+        queues = self._subscribers.get(job_id, [])
+        if queue in queues:
+            queues.remove(queue)
+
+    def _publish(self, job: Job, event: Dict[str, Any],
+                 final: bool = False) -> None:
+        for queue in self._subscribers.get(job.id, []):
+            queue.put_nowait(event)
+            if final:
+                queue.put_nowait(None)
+        if final:
+            self._subscribers.pop(job.id, None)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _admit_work(self, job: Job, index: int) -> None:
+        """Admission-dedupe one (job, run) at submit/resume time.
+
+        Only the subscriber that *creates* the execution enqueues a work
+        item — a request identical to one already queued or executing
+        (even mid-batch, submitted by another client) attaches to it and
+        receives the same outcome when it resolves."""
+        if self.admission.acquire(job.requests[index], (job.id, index)):
+            heapq.heappush(
+                self._work,
+                (Priority.ORDER[job.priority], self._seq,
+                 job.requests[index].identity),
+            )
+
+    def _collect_batch(self) -> List[RunRequest]:
+        """Drain queued executions (most urgent first) into a batch."""
+        batch: List[RunRequest] = []
+        while self._work and len(batch) < self.config.max_batch_runs:
+            _, _, identity = heapq.heappop(self._work)
+            execution = self.admission.execution(identity)
+            # Gone (cancelled away), already batched, or orphaned: skip.
+            if execution is None or execution.started \
+                    or not execution.subscribers:
+                continue
+            batch.append(execution.request)
+            for job_id, _ in execution.subscribers:
+                job = self.jobs.get(job_id)
+                if job is not None and job.status == Job.QUEUED:
+                    job.status = Job.RUNNING
+        return batch
+
+    async def _scheduler(self) -> None:
+        while not self._stopped:
+            await self._wake.wait()
+            self._wake.clear()
+            while not self._stopped and not self.draining:
+                batch = self._collect_batch()
+                if not batch:
+                    break
+                self._idle.clear()
+                self._batch_busy = True
+                try:
+                    await self._run_batch(batch)
+                finally:
+                    self._batch_busy = False
+                    if not self._work or self.draining:
+                        self._idle.set()
+            if self.draining:
+                self._idle.set()
+                return
+
+    async def _run_batch(self, batch: List[RunRequest]) -> None:
+        loop = asyncio.get_running_loop()
+        for request in batch:
+            self.admission.mark_started(request)
+        self.metrics.inc("batches")
+        self.metrics.inc("runs.dispatched", len(batch))
+
+        def callback(index: int, outcome: RunOutcome) -> None:
+            # Executor-thread side: marshal onto the loop and return.
+            loop.call_soon_threadsafe(self._on_outcome, batch[index], outcome)
+
+        def run() -> None:
+            self.runner.run_grid_outcomes(
+                batch, jobs=self.config.jobs, on_outcome=callback
+            )
+
+        try:
+            await loop.run_in_executor(self._executor, run)
+        except Exception as exc:  # noqa: BLE001 — engine must not die
+            self.metrics.inc("batches.broken")
+            error = f"batch execution failed: {type(exc).__name__}: {exc}"
+            for request in batch:
+                if self.admission.is_inflight(request):
+                    self._on_outcome(
+                        request,
+                        RunOutcome(request, RunOutcome.CRASHED, error=error),
+                    )
+
+    def _on_outcome(self, request: RunRequest, outcome: RunOutcome) -> None:
+        """Loop-thread side of the streaming hook: fan the outcome out to
+        every (job, index) subscribed to this execution."""
+        self.metrics.inc(f"runs.{outcome.status}")
+        finished: List[Job] = []
+        for position, (job_id, index) in enumerate(
+            self.admission.resolve(request, outcome)
+        ):
+            job = self.jobs.get(job_id)
+            if job is None or job.terminal or index in job.outcomes:
+                continue
+            record = outcome_to_wire(index, outcome, deduped=position > 0)
+            record["job"] = job.id
+            job.outcomes[index] = record
+            self._publish(job, record)
+            if not job.missing_indices():
+                finished.append(job)
+        for job in finished:
+            self._finalize(job)
+
+    def _finalize(self, job: Job) -> None:
+        failed = [o for o in job.outcomes.values()
+                  if o.get("status") != RunOutcome.OK]
+        job.status = Job.FAILED if failed else Job.DONE
+        job.finished_at = time.time()
+        if failed:
+            job.error = (
+                f"{len(failed)}/{len(job.requests)} run(s) failed: "
+                + ", ".join(sorted({o.get("status", "?") for o in failed}))
+            )
+        self.quotas.release(job.tenant, len(job.requests))
+        self.metrics.inc(f"jobs.{job.status}")
+        self.persist()
+        self._publish(job, {"event": "job", "id": job.id,
+                            "status": job.status}, final=True)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational snapshot for ``GET /healthz``."""
+        by_status: Dict[str, int] = {}
+        for job in self.jobs.values():
+            by_status[job.status] = by_status.get(job.status, 0) + 1
+        return {
+            "status": "draining" if self.draining else "ok",
+            "jobs": by_status,
+            "queued_work": len(self._work),
+            "inflight_executions": len(self.admission),
+            "deduped": self.admission.deduped,
+            "batch_busy": self._batch_busy,
+        }
+
+    def describe(self, job_id: str, runs: bool = False) -> Dict[str, Any]:
+        return job_to_wire(self.jobs[job_id], runs=runs)

@@ -1,0 +1,164 @@
+"""Per-tenant quotas and rate limits for the simulation service.
+
+Two independent gates, both deterministic and clock-injectable:
+
+* :class:`TokenBucket` — submissions per second with a burst allowance.
+  Refill is computed lazily from elapsed time, so there is no background
+  task to leak and tests can drive it with a fake clock.
+* :class:`TenantQuota` — standing limits: how many runs a tenant may
+  have queued or executing at once, and how many unfinished jobs.
+
+:class:`QuotaGate` owns one bucket + usage record per tenant and is the
+only thing the engine talks to: ``admit`` at submission (raises
+:class:`RateLimited` / :class:`QuotaError`, which the HTTP layer maps to
+429), ``release`` as runs and jobs finish.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict
+
+__all__ = [
+    "QuotaError",
+    "QuotaGate",
+    "RateLimited",
+    "TenantQuota",
+    "TokenBucket",
+]
+
+
+class QuotaError(RuntimeError):
+    """A standing per-tenant limit would be exceeded (HTTP 429)."""
+
+
+class RateLimited(QuotaError):
+    """The tenant's submission rate limit is exhausted (HTTP 429 +
+    ``Retry-After``)."""
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Standing limits for one tenant (or the default for all)."""
+
+    #: runs queued or executing at once; <= 0 disables the check.
+    max_active_runs: int = 2048
+    #: unfinished jobs at once; <= 0 disables the check.
+    max_active_jobs: int = 64
+    #: job submissions per second (token-bucket refill rate).
+    submit_rate: float = 10.0
+    #: burst allowance on top of the steady rate.
+    submit_burst: int = 20
+
+
+class TokenBucket:
+    """Classic token bucket; ``clock`` is injectable for tests."""
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic):
+        self.rate = float(rate)
+        self.burst = max(1, int(burst))
+        self.clock = clock
+        self.tokens = float(self.burst)
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        self.tokens = min(
+            float(self.burst), self.tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+
+    def try_take(self, n: float = 1.0) -> bool:
+        self._refill()
+        if self.tokens >= n:
+            self.tokens -= n
+            return True
+        return False
+
+    def wait_time(self, n: float = 1.0) -> float:
+        """Seconds until ``n`` tokens will be available (0 if now)."""
+        self._refill()
+        if self.tokens >= n:
+            return 0.0
+        if self.rate <= 0:
+            return float("inf")
+        return (n - self.tokens) / self.rate
+
+
+@dataclass
+class _TenantUsage:
+    active_runs: int = 0
+    active_jobs: int = 0
+    bucket: TokenBucket = field(default=None)  # type: ignore[assignment]
+
+
+class QuotaGate:
+    """Admission gate: one usage record + token bucket per tenant."""
+
+    def __init__(self, default: TenantQuota = TenantQuota(),
+                 per_tenant: Dict[str, TenantQuota] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.default = default
+        self.per_tenant = dict(per_tenant or {})
+        self.clock = clock
+        self._usage: Dict[str, _TenantUsage] = {}
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        return self.per_tenant.get(tenant, self.default)
+
+    def _usage_for(self, tenant: str) -> _TenantUsage:
+        usage = self._usage.get(tenant)
+        if usage is None:
+            quota = self.quota_for(tenant)
+            usage = _TenantUsage(bucket=TokenBucket(
+                quota.submit_rate, quota.submit_burst, self.clock
+            ))
+            self._usage[tenant] = usage
+        return usage
+
+    def admit(self, tenant: str, runs: int) -> None:
+        """Gate one job submission of ``runs`` runs; raises or charges."""
+        quota = self.quota_for(tenant)
+        usage = self._usage_for(tenant)
+        if not usage.bucket.try_take():
+            raise RateLimited(
+                f"tenant {tenant!r} exceeded {quota.submit_rate}/s "
+                f"submission rate",
+                retry_after=usage.bucket.wait_time(),
+            )
+        if 0 < quota.max_active_jobs <= usage.active_jobs:
+            raise QuotaError(
+                f"tenant {tenant!r} already has {usage.active_jobs} active "
+                f"job(s) (limit {quota.max_active_jobs})"
+            )
+        if quota.max_active_runs > 0 and \
+                usage.active_runs + runs > quota.max_active_runs:
+            raise QuotaError(
+                f"tenant {tenant!r} would have {usage.active_runs + runs} "
+                f"active run(s) (limit {quota.max_active_runs})"
+            )
+        usage.active_jobs += 1
+        usage.active_runs += runs
+
+    def charge(self, tenant: str, runs: int, jobs: int = 1) -> None:
+        """Re-charge usage without the rate/limit checks (restart resume:
+        the job was admitted before the daemon went down)."""
+        usage = self._usage_for(tenant)
+        usage.active_jobs += jobs
+        usage.active_runs += runs
+
+    def release(self, tenant: str, runs: int, jobs: int = 1) -> None:
+        """Return capacity as a job (and its runs) finishes."""
+        usage = self._usage_for(tenant)
+        usage.active_jobs = max(0, usage.active_jobs - jobs)
+        usage.active_runs = max(0, usage.active_runs - runs)
+
+    def active(self, tenant: str) -> Dict[str, int]:
+        usage = self._usage_for(tenant)
+        return {"jobs": usage.active_jobs, "runs": usage.active_runs}

@@ -1,0 +1,218 @@
+"""Wire schemas for the simulation service.
+
+Everything that crosses the HTTP boundary goes through this module, in
+both directions: grid specs are parsed and validated here
+(:func:`parse_job_spec`), and jobs / outcomes / results are rendered to
+JSON-safe dicts here (:func:`job_to_wire`, :func:`outcome_to_wire`,
+:func:`result_to_wire`).  The service core and the HTTP layer therefore
+never hand-roll JSON shapes, and the client can round-trip a request
+exactly (:func:`request_from_wire` inverts :func:`request_to_wire`).
+
+A job spec looks like::
+
+    {
+      "runs": [
+        {"benchmark": "bfs", "backend": "regless", "osu_entries": 512,
+         "overrides": {"scheduler": "lrr"}},
+        ...
+      ],
+      "priority": "batch",          # interactive | batch | bulk
+      "tags": {"note": "sweep 7"}   # optional, echoed back verbatim
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..harness.parallel import RunOutcome, RunRequest
+from ..harness.runner import BACKENDS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..harness.runner import RunResult
+    from .queue import Job
+
+__all__ = [
+    "SpecError",
+    "job_to_wire",
+    "outcome_to_wire",
+    "parse_job_spec",
+    "request_from_wire",
+    "request_to_wire",
+    "result_to_wire",
+]
+
+#: every backend name the service accepts in a run spec.
+WIRE_BACKENDS = BACKENDS + ("regless-nc",)
+
+#: hard cap on runs per submitted job — one grid spec cannot starve the
+#: queue regardless of tenant quotas.
+MAX_RUNS_PER_JOB = 4096
+
+
+class SpecError(ValueError):
+    """A submitted job spec failed validation (maps to HTTP 400)."""
+
+
+# -- requests ---------------------------------------------------------------
+
+
+def request_to_wire(request: RunRequest) -> Dict[str, Any]:
+    wire: Dict[str, Any] = {
+        "benchmark": request.benchmark,
+        "backend": request.backend,
+        "osu_entries": request.osu_entries,
+    }
+    if request.window_series:
+        wire["window_series"] = list(request.window_series)
+    if request.overrides:
+        wire["overrides"] = dict(request.overrides)
+    return wire
+
+
+def request_from_wire(wire: Mapping[str, Any]) -> RunRequest:
+    """Validate and build one :class:`RunRequest` from its wire form."""
+    if not isinstance(wire, Mapping):
+        raise SpecError(f"run spec must be an object, got {type(wire).__name__}")
+    unknown = set(wire) - {"benchmark", "backend", "osu_entries",
+                           "window_series", "overrides"}
+    if unknown:
+        raise SpecError(f"unknown run-spec field(s): {sorted(unknown)}")
+    benchmark = wire.get("benchmark")
+    backend = wire.get("backend")
+    if not isinstance(benchmark, str) or not benchmark:
+        raise SpecError("run spec needs a 'benchmark' string")
+    from ..workloads import workload_names
+
+    if benchmark not in workload_names():
+        raise SpecError(
+            f"unknown benchmark {benchmark!r} — a typo here would burn "
+            f"retry budget in the workers; rejected at admission"
+        )
+    if backend not in WIRE_BACKENDS:
+        raise SpecError(
+            f"unknown backend {backend!r} (expected one of {list(WIRE_BACKENDS)})"
+        )
+    osu_entries = wire.get("osu_entries", 512)
+    if not isinstance(osu_entries, int) or isinstance(osu_entries, bool) \
+            or osu_entries <= 0:
+        raise SpecError(f"osu_entries must be a positive int, got {osu_entries!r}")
+    window_series = wire.get("window_series", ())
+    if not isinstance(window_series, (list, tuple)) or not all(
+        isinstance(w, str) for w in window_series
+    ):
+        raise SpecError("window_series must be a list of strings")
+    overrides = wire.get("overrides", {})
+    if not isinstance(overrides, Mapping) or not all(
+        isinstance(k, str) for k in overrides
+    ):
+        raise SpecError("overrides must be an object with string keys")
+    return RunRequest.make(
+        benchmark, backend, osu_entries, tuple(window_series), **dict(overrides)
+    )
+
+
+def parse_job_spec(
+    body: Any,
+) -> Tuple[List[RunRequest], str, Dict[str, Any]]:
+    """Validate a ``POST /jobs`` body -> (requests, priority, tags)."""
+    from .queue import Priority
+
+    if not isinstance(body, Mapping):
+        raise SpecError("job spec must be a JSON object")
+    unknown = set(body) - {"runs", "priority", "tags"}
+    if unknown:
+        raise SpecError(f"unknown job-spec field(s): {sorted(unknown)}")
+    runs = body.get("runs")
+    if not isinstance(runs, Sequence) or isinstance(runs, (str, bytes)) \
+            or not runs:
+        raise SpecError("job spec needs a non-empty 'runs' array")
+    if len(runs) > MAX_RUNS_PER_JOB:
+        raise SpecError(
+            f"job spec has {len(runs)} runs; the cap is {MAX_RUNS_PER_JOB}"
+        )
+    requests = [request_from_wire(r) for r in runs]
+    priority = body.get("priority", Priority.BATCH)
+    if priority not in Priority.NAMES:
+        raise SpecError(
+            f"unknown priority {priority!r} "
+            f"(expected one of {sorted(Priority.NAMES)})"
+        )
+    tags = body.get("tags", {})
+    if not isinstance(tags, Mapping):
+        raise SpecError("tags must be an object")
+    return requests, priority, dict(tags)
+
+
+# -- outcomes and results ---------------------------------------------------
+
+
+def stats_to_wire(stats) -> Dict[str, Any]:
+    """A :class:`~repro.sim.gpu.SimStats` as a JSON-safe dict.
+
+    Field names intentionally match the committed golden-grid format
+    (``tests/golden/simstats_bfs_nw.json``) so service results diff
+    cleanly against goldens."""
+    return {
+        "cycles": stats.cycles,
+        "instructions": stats.instructions,
+        "warps_done": stats.warps_done,
+        "warps_total": stats.warps_total,
+        "finished": stats.finished,
+        "counters": dict(stats.counters),
+        "stalls": dict(stats.stalls),
+    }
+
+
+def result_to_wire(result: "RunResult") -> Dict[str, Any]:
+    """One finished run's full stats bundle (the ``/result`` payload)."""
+    return {
+        "benchmark": result.benchmark,
+        "backend": result.backend,
+        "osu_entries": result.osu_entries,
+        "stats": stats_to_wire(result.stats),
+        "energy": result.energy.as_dict(),
+        "timings": {k: round(v, 6) for k, v in result.timings.items()},
+        "jit": dict(getattr(result, "jit", None) or {}),
+    }
+
+
+def outcome_to_wire(index: int, outcome: RunOutcome,
+                    deduped: bool = False) -> Dict[str, Any]:
+    """One run's terminal outcome as an event line (the ``/events`` unit)."""
+    wire: Dict[str, Any] = {
+        "event": "outcome",
+        "index": index,
+        "request": request_to_wire(outcome.request),
+        "status": outcome.status,
+        "attempts": outcome.attempts,
+    }
+    if deduped:
+        wire["deduped"] = True
+    if outcome.error:
+        wire["error"] = outcome.error
+    if outcome.ok and outcome.result is not None:
+        wire["run"] = result_to_wire(outcome.result)
+    return wire
+
+
+def job_to_wire(job: "Job", runs: bool = False) -> Dict[str, Any]:
+    """Job status summary (``GET /jobs/<id>``); ``runs=True`` adds the
+    per-run outcome records collected so far."""
+    wire: Dict[str, Any] = {
+        "id": job.id,
+        "tenant": job.tenant,
+        "priority": job.priority,
+        "status": job.status,
+        "runs_total": len(job.requests),
+        "runs_done": len(job.outcomes),
+        "runs_ok": sum(1 for o in job.outcomes.values()
+                       if o.get("status") == RunOutcome.OK),
+        "created": job.created,
+        "tags": dict(job.tags),
+    }
+    if job.error:
+        wire["error"] = job.error
+    if runs:
+        wire["runs"] = [job.outcomes.get(i) for i in range(len(job.requests))]
+    return wire

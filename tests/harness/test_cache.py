@@ -1,5 +1,6 @@
 """Persistent result cache: round-trip identity and key invalidation."""
 
+import multiprocessing
 import pickle
 
 import pytest
@@ -79,6 +80,65 @@ class TestRoundTrip:
         assert len(cache) == 2
         assert cache.clear() == 2
         assert len(cache) == 0
+
+
+def _racing_reader(root, digest, barrier, queue):
+    """Child-process body for the eviction race: both processes hit the
+    same corrupt entry at once."""
+    cache = ResultCache(root)
+    barrier.wait()
+    result = cache.get(digest)
+    queue.put((result is None, cache.misses, cache.corrupt_evictions))
+
+
+class TestCorruptEvictionRace:
+    """Regression: two workers racing to evict one corrupt entry must
+    both read a miss, must not crash, and must count exactly one
+    eviction between them."""
+
+    DIGEST = "cc" + "0" * 62
+
+    def corrupt_entry(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(self.DIGEST, {"ok": True})
+        path = cache._path(self.DIGEST)
+        with open(path, "wb") as fh:
+            fh.write(b"garbage, not a framed pickle")
+        return path
+
+    def test_lost_race_is_not_counted_and_not_fatal(self, tmp_path):
+        # Deterministic loser: the entry vanishes between this cache's
+        # read and its unlink (another worker evicted it first).
+        path = self.corrupt_entry(tmp_path)
+        winner = ResultCache(str(tmp_path))
+        loser = ResultCache(str(tmp_path))
+        with open(path, "rb") as fh:
+            fh.read()  # the loser "saw" the corrupt entry...
+        assert winner.get(self.DIGEST) is None  # ...winner evicts it...
+        loser._evict_corrupt(path, "corrupt entry")  # ...loser's unlink loses
+        assert winner.corrupt_evictions == 1
+        assert loser.corrupt_evictions == 0
+
+    def test_two_process_race_counts_exactly_one_eviction(self, tmp_path):
+        self.corrupt_entry(tmp_path)
+        ctx = multiprocessing.get_context("fork")
+        barrier = ctx.Barrier(2)
+        queue = ctx.Queue()
+        procs = [
+            ctx.Process(target=_racing_reader,
+                        args=(str(tmp_path), self.DIGEST, barrier, queue))
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        reports = [queue.get(timeout=30) for _ in procs]
+        for p in procs:
+            p.join(timeout=30)
+            assert p.exitcode == 0  # FileNotFoundError must not escape
+        assert all(missed for missed, _, _ in reports)
+        assert [misses for _, misses, _ in reports] == [1, 1]
+        # However the unlinks interleave, the entry is evicted once.
+        assert sum(evictions for _, _, evictions in reports) == 1
 
 
 class TestDigest:

@@ -1,0 +1,59 @@
+"""The deprecated ``robustness`` verb must be a *silent-on-stdout* alias.
+
+Pipelines parse the seed-stability report from stdout, so the alias's
+stdout must be byte-identical to the ``seeds`` verb's — the deprecation
+note goes to stderr only.  The study itself is stubbed out: this test is
+about stream discipline, not simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.harness.cli as cli
+
+
+@pytest.fixture
+def stubbed_study(monkeypatch):
+    """Replace the seed study with a cheap deterministic stand-in."""
+    calls = []
+
+    def fake_seed_robustness(**kwargs):
+        calls.append(kwargs)
+        return ("stats-sentinel",)
+
+    monkeypatch.setattr(cli, "seed_robustness", fake_seed_robustness)
+    monkeypatch.setattr(cli, "render_robustness",
+                        lambda stats: f"REPORT[{','.join(stats)}]")
+    return calls
+
+
+def test_alias_stdout_byte_identical_to_seeds(stubbed_study, capsys):
+    assert cli.main(["seeds"]) == 0
+    seeds_out = capsys.readouterr()
+
+    assert cli.main(["robustness"]) == 0
+    alias_out = capsys.readouterr()
+
+    assert alias_out.out.encode() == seeds_out.out.encode()
+    assert "REPORT[stats-sentinel]" in seeds_out.out
+
+
+def test_deprecation_note_goes_to_stderr_only(stubbed_study, capsys):
+    cli.main(["robustness"])
+    captured = capsys.readouterr()
+    assert "deprecated" in captured.err
+    assert "deprecated" not in captured.out
+
+
+def test_seeds_verb_emits_no_deprecation_note(stubbed_study, capsys):
+    cli.main(["seeds"])
+    captured = capsys.readouterr()
+    assert captured.err == ""
+
+
+def test_alias_forwards_names_like_seeds(stubbed_study, capsys):
+    cli.main(["seeds", "--names", "bfs"])
+    cli.main(["robustness", "--names", "bfs"])
+    capsys.readouterr()
+    assert stubbed_study == [{"names": ["bfs"]}, {"names": ["bfs"]}]

@@ -1,0 +1,65 @@
+"""Cross-client admission dedupe: one in-flight execution per identity."""
+
+from repro.harness.parallel import RunOutcome, RunRequest
+from repro.obs.metrics import MetricsRegistry
+from repro.service import AdmissionController
+
+
+REQ = RunRequest.make("bfs", "baseline")
+OTHER = RunRequest.make("nw", "baseline")
+
+
+def test_first_acquire_creates_later_attach():
+    registry = MetricsRegistry()
+    ctl = AdmissionController(registry.scope("service"))
+    assert ctl.acquire(REQ, ("job-a", 0)) is True
+    assert ctl.acquire(REQ, ("job-b", 3)) is False
+    assert ctl.acquire(OTHER, ("job-b", 4)) is True
+    assert len(ctl) == 2
+    assert ctl.deduped == 1
+    assert registry.get("service.admission.deduped") == 1
+
+
+def test_equal_but_distinct_objects_share_an_execution():
+    ctl = AdmissionController()
+    assert ctl.acquire(RunRequest.make("bfs", "baseline"), ("a", 0))
+    assert not ctl.acquire(RunRequest.make("bfs", "baseline"), ("b", 0))
+
+
+def test_resolve_fans_out_in_subscription_order():
+    ctl = AdmissionController()
+    ctl.acquire(REQ, ("job-a", 0))
+    ctl.acquire(REQ, ("job-b", 1))
+    outcome = RunOutcome(REQ, RunOutcome.OK)
+    assert ctl.resolve(REQ, outcome) == [("job-a", 0), ("job-b", 1)]
+    assert len(ctl) == 0
+    assert ctl.resolve(REQ, outcome) == []  # already retired
+
+
+def test_unsubscribe_drops_unstarted_orphans_only():
+    ctl = AdmissionController()
+    ctl.acquire(REQ, ("job-a", 0))
+    ctl.mark_started(REQ)
+    ctl.acquire(OTHER, ("job-a", 1))  # not started
+    ctl.unsubscribe("job-a")
+    # The started execution survives (its batch is running and will
+    # resolve); the unstarted orphan is discarded.
+    assert ctl.is_inflight(REQ)
+    assert not ctl.is_inflight(OTHER)
+    assert ctl.resolve(REQ, RunOutcome(REQ, RunOutcome.OK)) == []
+
+
+def test_unsubscribe_keeps_other_jobs_interest():
+    ctl = AdmissionController()
+    ctl.acquire(REQ, ("job-a", 0))
+    ctl.acquire(REQ, ("job-b", 0))
+    ctl.unsubscribe("job-a")
+    assert ctl.resolve(REQ, RunOutcome(REQ, RunOutcome.OK)) == [("job-b", 0)]
+
+
+def test_pending_lists_unstarted_executions():
+    ctl = AdmissionController()
+    ctl.acquire(REQ, ("a", 0))
+    ctl.acquire(OTHER, ("a", 1))
+    ctl.mark_started(REQ)
+    assert [e.request for e in ctl.pending()] == [OTHER]

@@ -1,0 +1,119 @@
+"""Token buckets and per-tenant quotas, driven by a fake clock."""
+
+import pytest
+
+from repro.service import QuotaError, QuotaGate, RateLimited, TenantQuota, \
+    TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3, clock=clock)
+        assert [bucket.try_take() for _ in range(4)] == [True] * 3 + [False]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        bucket.try_take(2)
+        assert not bucket.try_take()
+        clock.advance(0.5)  # 2/s * 0.5s = 1 token
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(100.0)
+        bucket.try_take(2)
+        assert not bucket.try_take()
+
+    def test_wait_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.wait_time() == 0.0
+        bucket.try_take()
+        assert bucket.wait_time() == pytest.approx(0.5)
+
+    def test_zero_rate_never_refills(self):
+        bucket = TokenBucket(rate=0.0, burst=1, clock=FakeClock())
+        bucket.try_take()
+        assert bucket.wait_time() == float("inf")
+
+
+class TestQuotaGate:
+    def gate(self, clock=None, **quota):
+        defaults = dict(max_active_runs=10, max_active_jobs=2,
+                        submit_rate=1.0, submit_burst=5)
+        defaults.update(quota)
+        return QuotaGate(TenantQuota(**defaults), clock=clock or FakeClock())
+
+    def test_admit_charges_and_release_returns(self):
+        gate = self.gate()
+        gate.admit("a", 4)
+        assert gate.active("a") == {"jobs": 1, "runs": 4}
+        gate.release("a", 4)
+        assert gate.active("a") == {"jobs": 0, "runs": 0}
+
+    def test_active_jobs_limit(self):
+        gate = self.gate(max_active_jobs=1)
+        gate.admit("a", 1)
+        with pytest.raises(QuotaError, match="active job"):
+            gate.admit("a", 1)
+        gate.admit("b", 1)  # quotas are per tenant
+
+    def test_active_runs_limit(self):
+        gate = self.gate(max_active_runs=5)
+        gate.admit("a", 4)
+        with pytest.raises(QuotaError, match="active run"):
+            gate.admit("a", 2)
+        gate.admit("a", 1)  # exactly at the limit is fine
+
+    def test_rate_limit_carries_retry_after(self):
+        clock = FakeClock()
+        gate = self.gate(clock=clock, submit_rate=2.0, submit_burst=1,
+                         max_active_jobs=0)
+        gate.admit("a", 1)
+        with pytest.raises(RateLimited) as err:
+            gate.admit("a", 1)
+        assert err.value.retry_after == pytest.approx(0.5)
+        clock.advance(0.5)
+        gate.admit("a", 1)
+
+    def test_rate_limited_is_a_quota_error(self):
+        assert issubclass(RateLimited, QuotaError)
+
+    def test_per_tenant_override(self):
+        clock = FakeClock()
+        gate = QuotaGate(
+            TenantQuota(max_active_jobs=1),
+            per_tenant={"vip": TenantQuota(max_active_jobs=3)},
+            clock=clock,
+        )
+        gate.admit("vip", 1)
+        gate.admit("vip", 1)
+        gate.admit("anon", 1)
+        with pytest.raises(QuotaError):
+            gate.admit("anon", 1)
+
+    def test_charge_bypasses_checks_for_restart_resume(self):
+        gate = self.gate(max_active_jobs=1, submit_burst=1)
+        gate.charge("a", 5)
+        gate.charge("a", 5)  # no rate limit, no job limit
+        assert gate.active("a") == {"jobs": 2, "runs": 10}
+
+    def test_disabled_limits(self):
+        gate = self.gate(max_active_runs=0, max_active_jobs=0)
+        for _ in range(5):
+            gate.admit("a", 100)

@@ -1,0 +1,103 @@
+"""Wire-schema validation: everything crossing the HTTP boundary."""
+
+import pytest
+
+from repro.harness.parallel import RunOutcome, RunRequest
+from repro.service import SpecError, outcome_to_wire, parse_job_spec, \
+    request_from_wire, request_to_wire
+
+
+class TestRequestRoundTrip:
+    def test_wire_round_trip_is_identity(self):
+        req = RunRequest.make("bfs", "regless", 256, ("rf_read",),
+                              scheduler="lrr")
+        assert request_from_wire(request_to_wire(req)) == req
+
+    def test_defaults_fill_in(self):
+        req = request_from_wire({"benchmark": "bfs", "backend": "baseline"})
+        assert req.osu_entries == 512
+        assert req.window_series == ()
+        assert req.overrides == ()
+
+
+class TestRequestValidation:
+    def reject(self, wire, match):
+        with pytest.raises(SpecError, match=match):
+            request_from_wire(wire)
+
+    def test_rejects_non_object(self):
+        self.reject(["bfs"], "must be an object")
+
+    def test_rejects_unknown_field(self):
+        self.reject({"benchmark": "bfs", "backend": "baseline",
+                     "bencmark": "typo"}, "unknown run-spec field")
+
+    def test_rejects_unknown_benchmark(self):
+        self.reject({"benchmark": "no-such-workload",
+                     "backend": "baseline"}, "unknown benchmark")
+
+    def test_rejects_unknown_backend(self):
+        self.reject({"benchmark": "bfs", "backend": "magic"},
+                    "unknown backend")
+
+    def test_rejects_bad_osu_entries(self):
+        for bad in (0, -1, "512", True):
+            self.reject({"benchmark": "bfs", "backend": "baseline",
+                         "osu_entries": bad}, "osu_entries")
+
+    def test_rejects_bad_window_series(self):
+        self.reject({"benchmark": "bfs", "backend": "baseline",
+                     "window_series": [1]}, "window_series")
+
+    def test_rejects_bad_overrides(self):
+        self.reject({"benchmark": "bfs", "backend": "baseline",
+                     "overrides": [("a", 1)]}, "overrides")
+
+
+class TestJobSpec:
+    RUN = {"benchmark": "bfs", "backend": "baseline"}
+
+    def test_parses_runs_priority_tags(self):
+        requests, priority, tags = parse_job_spec({
+            "runs": [self.RUN], "priority": "interactive",
+            "tags": {"note": "x"},
+        })
+        assert [r.key for r in requests] == ["bfs/baseline"]
+        assert priority == "interactive"
+        assert tags == {"note": "x"}
+
+    def test_priority_defaults_to_batch(self):
+        _, priority, tags = parse_job_spec({"runs": [self.RUN]})
+        assert priority == "batch"
+        assert tags == {}
+
+    def test_rejects_empty_or_missing_runs(self):
+        for body in ({}, {"runs": []}, {"runs": "bfs"}, None, []):
+            with pytest.raises(SpecError):
+                parse_job_spec(body)
+
+    def test_rejects_unknown_priority_and_fields(self):
+        with pytest.raises(SpecError, match="priority"):
+            parse_job_spec({"runs": [self.RUN], "priority": "urgent"})
+        with pytest.raises(SpecError, match="unknown job-spec"):
+            parse_job_spec({"runs": [self.RUN], "prio": "batch"})
+
+
+class TestOutcomeWire:
+    def test_failure_carries_error_no_run(self):
+        req = RunRequest.make("bfs", "baseline")
+        out = RunOutcome(req, RunOutcome.CRASHED, attempts=3,
+                         error="worker died")
+        wire = outcome_to_wire(4, out)
+        assert wire["event"] == "outcome"
+        assert wire["index"] == 4
+        assert wire["status"] == "crashed"
+        assert wire["attempts"] == 3
+        assert wire["error"] == "worker died"
+        assert "run" not in wire
+        assert "deduped" not in wire
+
+    def test_deduped_flag(self):
+        req = RunRequest.make("bfs", "baseline")
+        out = RunOutcome(req, RunOutcome.CRASHED, attempts=1, error="x")
+        assert outcome_to_wire(0, out, deduped=True)["deduped"] is True
