@@ -36,12 +36,18 @@ def _fmt_rate(seconds: float, n: int) -> str:
     return f"{seconds:7.1f}s ({seconds / max(1, n):5.2f}s/run)"
 
 
+#: jobs values swept by ``--scaling`` (each gets its own cold cache so
+#: every sweep point re-executes the full grid).
+SCALING_JOBS = (1, 2, 4, 8)
+
+
 def run_bench(
     names: Optional[Sequence[str]] = None,
     backends: Sequence[str] = BACKENDS,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
     json_path: Optional[str] = None,
+    scaling: bool = False,
 ) -> str:
     """Run the three-legged benchmark and return the report text.
 
@@ -49,6 +55,10 @@ def run_bench(
     per-run wall-clock and simulated throughput from the serial leg (the
     leg that actually simulates every run in-process, so its timings are
     comparable across commits) plus the three leg totals.
+
+    ``scaling`` additionally sweeps the parallel cold leg over
+    ``SCALING_JOBS`` worker counts and reports runs-vs-jobs-vs-wall-clock
+    rows (also emitted into the JSON payload as ``scaling``).
     """
     names = list(names) if names else workload_names()
     backends = list(backends)
@@ -143,12 +153,41 @@ def run_bench(
             f"{len(loads)} warm hit(s)"
         )
 
+    scaling_rows: Optional[List[Dict[str, object]]] = None
+    if scaling:
+        scaling_rows = []
+        lines.append("")
+        lines.append(f"scaling sweep ({n} runs per point, cold cache each):")
+        base_wall = None
+        for j in SCALING_JOBS:
+            sweep_runner = SuiteRunner(
+                cache=ResultCache(tempfile.mkdtemp(prefix="repro-bench-scale-")),
+                jobs=j,
+            )
+            t0 = time.perf_counter()
+            sweep_runner.run_grid(requests)
+            dt = time.perf_counter() - t0
+            if base_wall is None:
+                base_wall = dt
+            speedup = base_wall / max(dt, 1e-9)
+            scaling_rows.append({
+                "jobs": j,
+                "runs": n,
+                "wall_s": round(dt, 3),
+                "runs_per_sec": round(n / max(dt, 1e-9), 3),
+                "speedup_vs_jobs1": round(speedup, 2),
+            })
+            lines.append(
+                f"  jobs={j}: {_fmt_rate(dt, n)}   {speedup:5.2f}x vs jobs=1"
+            )
+
     if json_path:
         payload = _bench_payload(
             names, backends, jobs, requests, serial, serial_wall,
             t_serial, t_cold, t_warm,
             serial_parallel_ok=not mismatches,
             warm_ok=warm_mismatches == 0,
+            scaling_rows=scaling_rows,
         )
         with open(json_path, "w") as f:
             json.dump(payload, f, indent=1, sort_keys=True)
@@ -156,6 +195,13 @@ def run_bench(
         lines.append("")
         lines.append(f"wrote {json_path}")
     return "\n".join(lines)
+
+
+#: per-shard ``batch.*`` counters summed into the grid aggregate.
+_BATCH_SUM_KEYS = (
+    "cohorts", "batched_warps", "singleton_warps", "scalar_classified",
+    "reused_commits", "fresh_passes", "gate_shared", "matrix_warps",
+)
 
 
 def _bench_payload(
@@ -170,16 +216,25 @@ def _bench_payload(
     t_warm: float,
     serial_parallel_ok: bool,
     warm_ok: bool,
+    scaling_rows: Optional[Sequence[Dict[str, object]]] = None,
 ) -> Dict[str, object]:
     """The ``--json`` measurement record (``BENCH_*.json`` format)."""
     runs = []
     jit_agg = {"armed_shards": 0, "shards": 0, "compile_s": 0.0,
                "steps": 0, "issued_via_jit": 0, "fallback_issued": 0,
                "runs_with_jit": 0, "runs_missing_jit": 0}
+    batch_agg: Dict[str, object] = {
+        "armed_shards": 0, "shards": 0,
+        "runs_with_batch": 0, "runs_missing_batch": 0,
+    }
+    for k in _BATCH_SUM_KEYS:
+        batch_agg[k] = 0
     for req, res, wall in zip(requests, serial, serial_wall):
         # A run replayed from a PR-5-era cache entry predates the ``jit``
         # field entirely, and a ``REPRO_JIT=0`` run records an empty dict;
         # neither may crash the grid aggregate — skip it and count it.
+        # An all-fallback run's per-shard entries carry only ``.armed`` and
+        # ``.reason`` keys, so every other counter must go through ``get``.
         raw = getattr(res, "jit", None)
         jit = dict(raw) if isinstance(raw, dict) else {}
         if jit:
@@ -197,6 +252,23 @@ def _bench_payload(
             jit_agg["issued_via_jit"] += int(jit.get(prefix + "issued", 0))
             jit_agg["fallback_issued"] += int(
                 jit.get(prefix + "fallback_issued", 0))
+        # Cohort-batching aggregate: same tolerance rules (the field is
+        # newer still, and REPRO_BATCH=0 / refused shards record only
+        # armed + reason).
+        braw = getattr(res, "batch", None)
+        batch = dict(braw) if isinstance(braw, dict) else {}
+        if batch:
+            batch_agg["runs_with_batch"] += 1
+        else:
+            batch_agg["runs_missing_batch"] += 1
+        for key, val in batch.items():
+            if not key.endswith(".armed"):
+                continue
+            prefix = key[: -len("armed")]
+            batch_agg["shards"] += 1
+            batch_agg["armed_shards"] += int(bool(val))
+            for k in _BATCH_SUM_KEYS:
+                batch_agg[k] += int(batch.get(prefix + k, 0))
         runs.append({
             "benchmark": req.benchmark,
             "backend": req.backend,
@@ -207,9 +279,18 @@ def _bench_payload(
             "cycles_per_sec": round(res.stats.cycles / max(wall, 1e-9), 1),
             "stall_warp_cycles": sum(res.stats.stalls.values()),
             "jit": jit,
+            "batch": batch,
         })
     jit_agg["compile_s"] = round(jit_agg["compile_s"], 4)
-    return {
+    # Cohort hit rate: fraction of account-pass warp classifications that
+    # landed in a >=2-warp cohort (vs singleton cohorts and warps classified
+    # scalar because their stall class isn't coverable).
+    denom = (batch_agg["batched_warps"] + batch_agg["singleton_warps"]
+             + batch_agg["scalar_classified"])
+    batch_agg["cohort_hit_rate"] = (
+        round(batch_agg["batched_warps"] / denom, 4) if denom else 0.0
+    )
+    payload: Dict[str, object] = {
         "benchmarks": list(names),
         "backends": list(backends),
         "jobs": jobs,
@@ -222,8 +303,12 @@ def _bench_payload(
         "serial_equals_parallel": serial_parallel_ok,
         "warm_equals_serial": warm_ok,
         "jit": jit_agg,
+        "batch": batch_agg,
         "runs": runs,
     }
+    if scaling_rows is not None:
+        payload["scaling"] = list(scaling_rows)
+    return payload
 
 
 def render_bench(report: str) -> str:

@@ -152,6 +152,13 @@ def main(argv: Optional[List[str]] = None) -> int:
              "(default: $REPRO_JOBS or CPU count)",
     )
     parser.add_argument(
+        "--scaling",
+        action="store_true",
+        help="for 'bench': additionally sweep the cold parallel leg over "
+             "--jobs in {1,2,4,8} and report runs-vs-jobs-vs-wall-clock "
+             "rows (included in the --json payload as 'scaling')",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="skip the persistent result cache for this invocation",
@@ -232,6 +239,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             backends=backends,
             jobs=args.jobs,
             json_path=args.json_path,
+            scaling=args.scaling,
         ))
         return 0
 

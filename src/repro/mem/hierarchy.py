@@ -48,6 +48,14 @@ class MemoryHierarchy:
         #: loop only calls :meth:`cycle` while this is non-zero and banks
         #: the skipped cycles for :meth:`credit_idle`.
         self.pending_total = 0
+        #: idle-regen clamp: the smallest k at which *both* token buckets
+        #: are guaranteed saturated from empty (cap / rate, rounded up).
+        #: Crediting more than this is a no-op thanks to the caps, so
+        #: credit_idle may clamp without changing any observable.
+        self._regen_sat = max(
+            -(-8 * 4 // max(1, int(config.dram_lines_per_cycle * 4))),
+            -(-4 * 4 // max(1, int(config.icnt_per_sm * 4))),
+        )
         self._c_icnt = {k: f"icnt_{k}" for k in self.KINDS}
         self._c_l2_access = {k: f"l2_{k}_access" for k in self.KINDS}
         self._c_dram_read = {k: f"dram_{k}_read" for k in self.KINDS}
@@ -84,9 +92,12 @@ class MemoryHierarchy:
         ``min(x + rate * k, cap)`` — bit-identical to ``k`` individual
         pumps because every quantity is a multiple of 0.25 (exact in
         binary floating point) and the caps clamp identically.  ``k`` is
-        clamped at 8: both buckets saturate within 8 cycles.
+        clamped at the configured saturation point (``cap / rate`` of the
+        slower bucket): past it both buckets are pinned at their caps, so
+        any larger credit is a no-op.
         """
-        k = idle_cycles if idle_cycles < 8 else 8
+        sat = self._regen_sat
+        k = idle_cycles if idle_cycles < sat else sat
         cfg = self.config
         self._dram_tokens = min(
             self._dram_tokens + cfg.dram_lines_per_cycle * k, 8.0

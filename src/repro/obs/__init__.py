@@ -15,7 +15,7 @@ Three layers, all opt-out-free (they ride along with every run):
   :class:`~repro.sim.trace.Tracer` events and RegLess region spans.
 """
 
-from .metrics import MetricScope, MetricsRegistry
+from .metrics import MetricScope, MetricsRegistry, bucket_125
 from .stalls import (
     ISSUED,
     STALL_REASONS,
@@ -32,6 +32,7 @@ from .perfetto import (
 __all__ = [
     "MetricScope",
     "MetricsRegistry",
+    "bucket_125",
     "ISSUED",
     "STALL_REASONS",
     "ShardStallTracker",

@@ -21,7 +21,27 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["MetricsRegistry", "MetricScope"]
+__all__ = ["MetricsRegistry", "MetricScope", "bucket_125"]
+
+
+def bucket_125(value: float) -> float:
+    """Round ``value`` up to the next 1-2-5 bucket bound.
+
+    The classic latency-histogram series (… 0.5, 1, 2, 5, 10, 20, 50 …):
+    call it at the observe site so a histogram holds a handful of stable
+    bucket keys instead of one key per distinct measured value.
+    """
+    if not value > 0 or value != value or value == float("inf"):
+        return 0.0
+    bound = 1.0
+    while bound < value:
+        bound *= 10.0
+    while bound * 0.1 >= value:
+        bound *= 0.1
+    for mult in (0.1, 0.2, 0.5, 1.0):
+        if value <= bound * mult:
+            return bound * mult
+    return bound
 
 
 class MetricScope:
@@ -146,9 +166,19 @@ class MetricsRegistry:
         return out
 
     def as_dict(self) -> Dict[str, float]:
-        """Flat path -> value snapshot of every counter and gauge."""
+        """Flat path -> value snapshot of every counter, gauge and
+        histogram (a histogram flattens to ``path.bucket.{bound}``
+        occurrence counts plus a ``path.count`` total, so ``/metrics``
+        and ``/metrics.json`` serve it without a schema change)."""
         out = dict(self.counters)
         out.update(self.gauges)
+        for path, hist in self.histograms.items():
+            count = 0
+            for value, n in hist.items():
+                key = f"{path}.bucket.{value:g}"
+                out[key] = out.get(key, 0.0) + n
+                count += n
+            out[f"{path}.count"] = float(count)
         return out
 
     def tree(self) -> Dict[str, object]:

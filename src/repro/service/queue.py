@@ -52,7 +52,7 @@ from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..harness.parallel import FaultPolicy, RunOutcome, RunRequest
 from ..harness.runner import SuiteRunner
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import MetricsRegistry, bucket_125
 from ..sim.watchdog import WatchdogConfig
 from .admission import AdmissionController
 from .quotas import QuotaGate, TenantQuota
@@ -409,6 +409,10 @@ class ServiceEngine:
                 job = self.jobs.get(job_id)
                 if job is not None and job.status == Job.QUEUED:
                     job.status = Job.RUNNING
+                    # Queue-wait latency: submit -> first dispatch, into a
+                    # 1-2-5 bucketed histogram (``service.queue.wait_ms``).
+                    wait_ms = max(0.0, (time.time() - job.created) * 1000.0)
+                    self.metrics.observe("queue.wait_ms", bucket_125(wait_ms))
         return batch
 
     async def _scheduler(self) -> None:
@@ -438,9 +442,16 @@ class ServiceEngine:
         self.metrics.inc("batches")
         self.metrics.inc("runs.dispatched", len(batch))
 
+        t_dispatch = time.perf_counter()
+
         def callback(index: int, outcome: RunOutcome) -> None:
             # Executor-thread side: marshal onto the loop and return.
-            loop.call_soon_threadsafe(self._on_outcome, batch[index], outcome)
+            # Exec latency = dispatch -> outcome arrival (cache hits land
+            # in the lowest buckets, real simulations in the upper ones).
+            exec_ms = (time.perf_counter() - t_dispatch) * 1000.0
+            loop.call_soon_threadsafe(
+                self._on_outcome, batch[index], outcome, exec_ms
+            )
 
         def run() -> None:
             self.runner.run_grid_outcomes(
@@ -459,10 +470,13 @@ class ServiceEngine:
                         RunOutcome(request, RunOutcome.CRASHED, error=error),
                     )
 
-    def _on_outcome(self, request: RunRequest, outcome: RunOutcome) -> None:
+    def _on_outcome(self, request: RunRequest, outcome: RunOutcome,
+                    exec_ms: Optional[float] = None) -> None:
         """Loop-thread side of the streaming hook: fan the outcome out to
         every (job, index) subscribed to this execution."""
         self.metrics.inc(f"runs.{outcome.status}")
+        if exec_ms is not None:
+            self.metrics.observe("run.exec_ms", bucket_125(exec_ms))
         finished: List[Job] = []
         for position, (job_id, index) in enumerate(
             self.admission.resolve(request, outcome)

@@ -1,0 +1,504 @@
+"""Cross-warp lockstep batching: the cohort layer beneath the region JIT.
+
+Within a convergent region every resident warp executes the same static
+instruction stream, so on most cycles the ready set decomposes into
+*cohorts*: warps sitting at the same pc with identical issue-eligibility
+state (same scoreboard readiness class, same storage admission verdict,
+no divergence).  This module exploits that in three ways, each
+bit-identical to the scalar per-warp path by construction:
+
+1. **Covered accounting.**  Stall attribution is the hottest per-cycle
+   loop (it classifies every ready warp every cycle).  For the pure
+   backends a non-issuing ready warp's classification cannot change
+   without an observable event on that warp (its own issue, a park, a
+   wake), so the batched account *covers* such warps once and then
+   re-commits aggregate bin counts per cohort — one ``+= len(cohort)``
+   instead of ``len(cohort)`` ladder walks.  Memory-class warps are
+   covered under a sentinel (:data:`MEMSENS`) because their bin
+   arbitrates each cycle between ``mem_slot`` and ``issue_width`` with
+   the SM's shared LDST slot; the resolution is a single parity test
+   applied to the whole cohort at commit time.  Only the three
+   event-stable classes {``exited``, ``issue_width``, ``MEMSENS``} are
+   ever covered; anything else is counted scalar and reclassified every
+   pass (defensive catch-all).  The covered map carries the reuse one
+   step further: on a cycle with no warp event at all (no park, no bin
+   flip, no wake, the same warps issuing, the same LDST-slot parity)
+   the cycle's bins dict is provably equal to the previous one, so the
+   pass extends the stall tracker's run-length encoding directly in
+   O(1) — no histogram rebuild, no dict comparison.
+
+2. **Cohort issue steps.**  :mod:`repro.sim.regionjit` emits an
+   additional ``_cstep_{pc}`` per batchable pc of the residency-gated
+   flavors (baseline/RFH, pure exec plans only); the generated cycle
+   loop dispatches it for the second and later members of a same-pc run
+   of issue candidates, sharing the operand-storage admission verdict
+   across the cohort (the previous member's CTA-residency answer is
+   provably still valid while that member is live).  Write-backs need
+   no cohort treatment: same pc ⇒ same latency, so the members' wheel
+   pushes land in one bucket in scalar FIFO order by construction.
+
+3. **Matrix lane materialization.**  Divergent address expansion for a
+   cohort of memory warps runs through
+   :func:`repro.sim.values.mix_hash_lanes_matrix` — one (warps × lanes)
+   FNV evaluation instead of per-warp vectors — and the rows are handed
+   to the generated LDG/STG steps for consumption at issue time.
+
+``REPRO_BATCH=0`` disables everything (mirroring ``REPRO_JIT=0``); the
+fallback ladder in :func:`compat_reason` records why a shard stays
+scalar.  The full contract (batchability conditions, staleness proofs,
+interaction with the wake-event contract) lives in docs/performance.md
+under "cohort batching contract".
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.stalls import ISSUED
+from .shard import Shard, _ACCT_PARK_BINS
+from . import values as _values
+from .values import WARP_WIDTH, ValueKind, mix_hash_lanes_matrix
+
+__all__ = [
+    "MEMSENS",
+    "BatchStats",
+    "attach_batch",
+    "batch_enabled",
+    "collect_batch",
+    "compat_reason",
+    "off_reason",
+    "partition_cohorts",
+]
+
+_MASK32 = 0xFFFFFFFF
+_RANDOM = ValueKind.RANDOM
+
+
+def batch_enabled() -> bool:
+    """The ``REPRO_BATCH`` escape hatch (default on)."""
+    return os.environ.get("REPRO_BATCH", "1") != "0"
+
+
+def off_reason() -> str:
+    """Fallback reason for a shard whose region JIT never armed: batching
+    rides beneath the JIT, so ``env_off`` outranks ``jit_off``."""
+    return "env_off" if not batch_enabled() else "jit_off"
+
+
+class _MemSens:
+    """Sentinel classification for a ready memory-class warp whose gate
+    and scoreboard both passed: its stall bin flips between ``mem_slot``
+    and ``issue_width`` with the SM's per-cycle LDST slot, so the cohort
+    cache stores the sentinel and resolves the whole count with one
+    parity test at commit time."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<MEMSENS>"
+
+
+MEMSENS = _MemSens()
+
+
+class BatchStats:
+    """Live cohort-efficacy counters for one shard (observability only —
+    mutated in place by the generated code and the account pass, never
+    feeding back into simulated state)."""
+
+    __slots__ = (
+        "cohorts", "batched_warps", "singletons", "scalar_warps",
+        "reused_commits", "fresh_passes", "gate_shared",
+        "matrix_warps", "size_hist",
+    )
+
+    def __init__(self) -> None:
+        self.cohorts = 0          # (pc, cycle) cohort observations (size >= 2)
+        self.batched_warps = 0    # warp-cycles accounted through a cohort
+        self.singletons = 0       # warp-cycles at a pc no other warp shares
+        self.scalar_warps = 0     # per-warp classify calls (scalar-path work)
+        self.reused_commits = 0   # O(1) passes served by the cached bins dict
+        self.fresh_passes = 0     # full rebuilds of the covered map
+        self.gate_shared = 0      # admission verdicts shared across a cohort
+        self.matrix_warps = 0     # warps whose lines came off the matrix path
+        self.size_hist: Dict[int, int] = {}  # cohort growth events by size
+
+
+def compat_reason(shard: Shard, *, full_loop: bool) -> Optional[str]:
+    """Why cohort batching must stay off for ``shard`` (None = batchable).
+
+    Ladder (first match wins; the caller reports ``env_off``/``jit_off``
+    for shards the region JIT itself never armed):
+
+    * ``env_off`` — ``REPRO_BATCH=0``;
+    * ``no_full_loop`` — a non-stock scheduler kept the JIT from
+      generating the cycle loop the cohort dispatch lives in;
+    * ``demoting_scheduler`` — two-level demotion makes ready-warp
+      classifications event-unstable (``notify_long_stall`` raises
+      ``stall_until`` under the cache's feet);
+    * ``impure_storage`` — the storage's issue test has side effects
+      (RFV's emergency valve), so admission verdicts cannot be shared;
+    * ``no_stalls`` — stall attribution is off, so there is no
+      accounting pass to batch.
+    """
+    if not batch_enabled():
+        return "env_off"
+    if not full_loop:
+        return "no_full_loop"
+    if not getattr(shard.scheduler, "lockstep_safe", False):
+        return "demoting_scheduler"
+    if not getattr(shard.storage, "lockstep_pure", False):
+        return "impure_storage"
+    if shard.stalls is None:
+        return "no_stalls"
+    return None
+
+
+def partition_cohorts(warps, key) -> Dict[object, list]:
+    """Partition ``warps`` into cohorts by ``key(warp)`` (insertion
+    ordered).  Singleton groups are cohorts of size one — those issue
+    through the scalar per-warp path."""
+    groups: Dict[object, list] = {}
+    for w in warps:
+        groups.setdefault(key(w), []).append(w)
+    return groups
+
+
+class _BatchState:
+    """Per-shard cohort cache: the covered map plus its aggregates.
+
+    ``cov`` maps each *covered* ready warp to its ``(bin, pc)``; the
+    aggregate counters mirror it so the accounting pass never iterates
+    the map.  ``pcs`` is the live cohort map (pc → covered non-exited
+    warp count); ``c2``/``bw``/``s1`` mirror *it* (cohort count, warps
+    inside cohorts, singleton pcs) so per-cycle cohort metrics are three
+    integer adds, not a map scan.
+
+    ``dirty``/``last_*`` drive the O(1) cached-commit fast path: every
+    warp event that can change the cycle's bins dict (a park, a parked
+    bin flip) raises ``dirty``; wakes grow ``uncov``.  When neither
+    happened and the issuing set and LDST-slot parity match the previous
+    pass, this cycle's histogram is provably equal to the last committed
+    one, and the pass extends the tracker's run-length encoding in O(1).
+
+    ``last_iss`` doubles as the *previous issuers* list: their pc
+    advanced, so the next full pass reclassifies exactly those of them
+    that are ready but no longer issuing — they never transit through
+    ``uncov``, which therefore holds only woken (and catch-all) warps
+    and is empty after every clean pass."""
+
+    __slots__ = ("cov", "uncov", "pcs", "agg_exited", "agg_iw", "memn",
+                 "fresh", "stats", "c2", "bw", "s1", "dirty",
+                 "last_iss", "last_par")
+
+    def __init__(self) -> None:
+        self.cov: dict = {}
+        #: ready warps awaiting (re)classification at the next pass
+        #: (fed by the ``_make_ready`` hook; may hold stale entries).
+        self.uncov: list = []
+        self.pcs: Dict[int, int] = {}
+        self.agg_exited = 0
+        self.agg_iw = 0
+        self.memn = 0
+        self.fresh = True
+        self.stats = BatchStats()
+        self.c2 = 0            # pcs covering a cohort (count >= 2)
+        self.bw = 0            # covered warps inside those cohorts
+        self.s1 = 0            # covered singleton pcs
+        self.dirty = True      # a bins-changing event since the last pass
+        self.last_iss: tuple = ()   # warps issued by the last pass
+        self.last_par = False  # LDST-slot parity at the last full pass
+
+    def drop(self, warp) -> None:
+        """Uncover a warp that left the ready set (or issued).  Callers
+        own the ``dirty`` flag: the ``_park`` hook raises it, and the
+        account pass overwrites it at the pass tail anyway."""
+        e = self.cov.pop(warp, None)
+        if e is None:
+            return
+        b, pc = e
+        if b is MEMSENS:
+            self.memn -= 1
+        elif b == "issue_width":
+            self.agg_iw -= 1
+        else:  # "exited" — never in the cohort map
+            self.agg_exited -= 1
+            return
+        pcs = self.pcs
+        n = pcs[pc] - 1
+        if n:
+            pcs[pc] = n
+            if n == 1:
+                self.c2 -= 1
+                self.bw -= 2
+                self.s1 += 1
+            else:
+                self.bw -= 1
+        else:
+            del pcs[pc]
+            self.s1 -= 1
+
+
+def attach_batch(shard: Shard, flavor: str, *, classify_b, memsrc,
+                 line_bytes: int, divlines: int) -> BatchStats:
+    """Install the covered accounting pass on a JIT-armed shard.
+
+    ``classify_b`` is the generated batch classifier (returns
+    ``(bin_or_MEMSENS, pc)``); ``memsrc`` maps compiled LDG/STG pcs to
+    their address-register index for the matrix materialization path.
+    Returns the live :class:`BatchStats` (also at ``shard._batch.stats``).
+    """
+    st = _BatchState()
+    stats = st.stats
+    shard._batch = st
+    shard._batch_wake = st.uncov.append
+    blines: dict = {}
+    shard._batch_lines = blines
+
+    cov = st.cov
+    pcs = st.pcs
+    size_hist = stats.size_hist
+    ready = shard._ready
+    parked = shard._parked_bins
+    commit = shard.stalls.commit
+    extend = shard.stalls.extend
+    park = shard._park
+    sm = shard.sm
+    program = shard._program
+    acct_park = _ACCT_PARK_BINS
+    regless = flavor == "regless"
+    dynamic = shard._dynamic
+    stall_reason = shard.storage.stall_reason
+    reevaluate = shard.reevaluate
+    drop = st.drop
+    use_matrix = (
+        _values._np is not None and line_bytes <= (1 << 30) and bool(memsrc)
+    )
+    n_lines = max(1, min(WARP_WIDTH, divlines))
+
+    def _precompute(mem_new: List[Tuple[object, int]]) -> None:
+        # Cohort address expansion: one (warps x lanes) FNV chain, each
+        # row bit-identical to LaneValues.line_addresses' RANDOM path.
+        groups: Dict[int, list] = {}
+        for warp, p in mem_new:
+            v = warp.regs.get(memsrc[p])
+            if v is not None and v.kind is _RANDOM:
+                groups.setdefault(p, []).append((warp.wid, v.tag))
+        for p, members in groups.items():
+            if len(members) < 2:
+                continue
+            rows = mix_hash_lanes_matrix(
+                [(tag,) for _, tag in members], n=n_lines
+            )
+            stats.matrix_warps += len(members)
+            for (wid, _), row in zip(members, rows):
+                blines[(wid, p)] = ((row * line_bytes) & _MASK32).tolist()
+
+    def _cover(p):
+        # Cohort-map transition: one more covered warp at pc ``p``.
+        n = pcs.get(p, 0)
+        pcs[p] = n + 1
+        if n == 0:
+            st.s1 += 1
+        elif n == 1:
+            st.s1 -= 1
+            st.c2 += 1
+            st.bw += 2
+            size_hist[2] = size_hist.get(2, 0) + 1
+        else:
+            st.bw += 1
+            n += 1
+            size_hist[n] = size_hist.get(n, 0) + 1
+
+    def _account(now, issued_warps):
+        # 1. RegLess preloading arbitration can flip parked bins without
+        # a warp event; refresh exactly like the scalar account pass.
+        if regless and dynamic:
+            for warp in tuple(dynamic):
+                p = warp.park_pc
+                reason = stall_reason(warp, p, program[p])
+                if reason is None:
+                    reevaluate(warp)
+                elif reason != warp.park_bin:
+                    st.dirty = True
+                    n = parked[warp.park_bin] - 1
+                    if n:
+                        parked[warp.park_bin] = n
+                    else:
+                        del parked[warp.park_bin]
+                    parked[reason] = parked.get(reason, 0) + 1
+                    warp.park_bin = reason
+        # 2. Cached commit: no park or bin flip since the last full pass
+        # (``dirty`` clear), no wake (``uncov`` only ever grows between
+        # passes, and a clean pass leaves it empty), the same warps
+        # issued again (so no previous issuer needs reclassifying), and
+        # the LDST-slot parity matches (or no memory-class warp is
+        # covered).  Then this cycle's bins dict is provably equal to
+        # the last committed one: extend the stall tracker's run-length
+        # encoding in O(1) and bump cohort metrics from the mirrored
+        # counters.
+        t_iss = tuple(issued_warps)
+        same_iss = t_iss == st.last_iss
+        if (same_iss and not st.dirty and not st.uncov
+                and (st.memn == 0
+                     or (sm._mem_slot_cycle == now) == st.last_par)):
+            extend()
+            shard._idle_committed = False
+            stats.reused_commits += 1
+            stats.cohorts += st.c2
+            stats.batched_warps += st.bw
+            stats.singletons += st.s1
+            return
+        bins = dict(parked)
+        if st.fresh:
+            # First pass (or an explicit invalidation): classify the
+            # whole ready set, exactly like the scalar account loop.
+            st.fresh = False
+            stats.fresh_passes += 1
+            del st.uncov[:]
+            cov.clear()
+            pcs.clear()
+            st.agg_exited = st.agg_iw = st.memn = 0
+            st.c2 = st.bw = st.s1 = 0
+            pending = ready
+        elif same_iss:
+            # The same warps issued again: none of them can be covered
+            # (issuing drops a warp from the map and only the drain
+            # re-covers), and no previous issuer needs reclassifying.
+            pending = st.uncov
+        else:
+            for warp in issued_warps:
+                if warp in cov:
+                    drop(warp)  # issuing now — counted as ISSUED below
+            # Last pass's issuers left the covered map when they issued;
+            # those that are ready but not issuing now are reclassified
+            # by the drain, without ever transiting through ``uncov``.
+            pi = st.last_iss
+            pending = st.uncov
+            if pi:
+                pending = list(pi) + pending if pending else pi
+        # 3. Drain: classify only warps the cache does not cover.  No
+        # wake can fire inside this loop (classify is pure, parks are
+        # deferred), so a plain list swap is race-free.
+        to_park = None
+        mem_new = None
+        clean = True
+        nxt: list = []
+        for warp in pending:
+            if not warp.ready or warp in cov or warp in issued_warps:
+                continue
+            b, p = classify_b(warp, now)
+            stats.scalar_warps += 1
+            if b is MEMSENS:
+                st.memn += 1
+                cov[warp] = (b, p)
+                _cover(p)
+                if use_matrix and p in memsrc:
+                    if mem_new is None:
+                        mem_new = [(warp, p)]
+                    else:
+                        mem_new.append((warp, p))
+            elif b == "issue_width":
+                st.agg_iw += 1
+                cov[warp] = (b, p)
+                _cover(p)
+            elif b == "exited":
+                st.agg_exited += 1
+                cov[warp] = (b, p)
+            elif b in acct_park:
+                bins[b] = bins.get(b, 0) + 1
+                if to_park is None:
+                    to_park = [(warp, b)]
+                else:
+                    to_park.append((warp, b))
+            else:
+                # Defensive catch-all (e.g. "barrier"): counted this
+                # cycle but never covered — reclassified every pass,
+                # exactly like the scalar loop reclassifies per cycle.
+                # Its bin can change without an event, so it also pins
+                # the pass out of the cached-commit fast path.
+                bins[b] = bins.get(b, 0) + 1
+                nxt.append(warp)
+                clean = False
+        # ``uncov`` is identity-stable (the shard's wake hook is a
+        # prebound ``append``): sync its contents in place.
+        u = st.uncov
+        if u:
+            del u[:]
+        if nxt:
+            u.extend(nxt)
+        if to_park is not None:
+            for warp, b in to_park:
+                park(warp, b)
+        if mem_new is not None:
+            _precompute(mem_new)
+        # 4. Merge the covered aggregates (the vectorized increments).
+        n = st.agg_exited
+        if n:
+            bins["exited"] = bins.get("exited", 0) + n
+        n = st.agg_iw
+        if n:
+            bins["issue_width"] = bins.get("issue_width", 0) + n
+        par = sm._mem_slot_cycle == now
+        n = st.memn
+        if n:
+            b = "mem_slot" if par else "issue_width"
+            bins[b] = bins.get(b, 0) + n
+        # 5. Issued warps: parked ones (EXIT/BAR) were counted in the
+        # parked snapshot — recount as ISSUED; ready ones reclassify
+        # next pass at their advanced pc (via ``last_iss``, not ``nxt``).
+        for warp in issued_warps:
+            if not warp.ready:
+                n = bins[warp.park_bin] - 1
+                if n:
+                    bins[warp.park_bin] = n
+                else:
+                    del bins[warp.park_bin]
+        if issued_warps:
+            bins[ISSUED] = len(issued_warps)
+        commit(bins)
+        shard._idle_committed = False
+        # 6. Cohort efficacy (three adds — the counters mirror the pc
+        # map) and the fast-path cache for the next pass.  Mid-pass
+        # parks above raised ``dirty``, but their warps are counted in
+        # this committed dict under the same bins the next cycle's
+        # parked snapshot will report, so the pass result stands as the
+        # cache baseline.
+        stats.cohorts += st.c2
+        stats.batched_warps += st.bw
+        stats.singletons += st.s1
+        st.last_iss = t_iss
+        st.last_par = par
+        st.dirty = not clean
+
+    shard._account_stalls = _account
+    return stats
+
+
+def collect_batch(gpu) -> Dict[str, object]:
+    """Flatten cohort-batching observability into ``sm{i}.shard{j}.batch.*``
+    paths (kept outside SimStats, like the jit report: wall-clock-side
+    observability must never enter the bit-identity contract)."""
+    out: Dict[str, object] = {}
+    report = getattr(gpu, "_jit_report", None) or {}
+    for (smid, shid), info in sorted(report.items()):
+        prefix = f"sm{smid}.shard{shid}.batch."
+        binfo = info.get("batch") or {"armed": 0, "reason": off_reason()}
+        armed = binfo.get("armed", 0)
+        out[prefix + "armed"] = armed
+        if not armed:
+            out[prefix + "reason"] = binfo.get("reason", "unknown")
+            continue
+        stats = info["_shard"]._batch.stats
+        out[prefix + "cohorts"] = stats.cohorts
+        out[prefix + "batched_warps"] = stats.batched_warps
+        out[prefix + "singleton_warps"] = stats.singletons
+        out[prefix + "scalar_classified"] = stats.scalar_warps
+        out[prefix + "reused_commits"] = stats.reused_commits
+        out[prefix + "fresh_passes"] = stats.fresh_passes
+        out[prefix + "gate_shared"] = stats.gate_shared
+        out[prefix + "matrix_warps"] = stats.matrix_warps
+        for size in sorted(stats.size_hist):
+            out[prefix + f"cohort_size.{size}"] = stats.size_hist[size]
+    return out

@@ -89,6 +89,34 @@ class TestQueries:
         scope.observe("lat", 7)
         assert reg.histograms["sm0.lat"] == {3: 2, 7: 1}
 
+    def test_bucket_125_rounds_up_to_series(self):
+        from repro.obs import bucket_125
+        assert bucket_125(0.3) == 0.5
+        assert bucket_125(0.05) == 0.05
+        assert bucket_125(1.0) == 1.0
+        assert bucket_125(1.5) == 2.0
+        assert bucket_125(15) == 20
+        assert bucket_125(50) == 50
+        assert bucket_125(51) == 100
+        assert bucket_125(700) == 1000
+        assert bucket_125(0) == 0.0
+        assert bucket_125(float("inf")) == 0.0
+
+    def test_as_dict_flattens_histograms(self):
+        from repro.obs import bucket_125
+        reg = MetricsRegistry()
+        scope = reg.scope("service")
+        scope.observe("run.exec_ms", bucket_125(3.2))
+        scope.observe("run.exec_ms", bucket_125(4.0))
+        scope.observe("run.exec_ms", bucket_125(700))
+        snap = reg.as_dict()
+        assert snap["service.run.exec_ms.bucket.5"] == 2
+        assert snap["service.run.exec_ms.bucket.1000"] == 1
+        assert snap["service.run.exec_ms.count"] == 3.0
+        # render_text (the /metrics endpoint) rides on as_dict
+        text = reg.render_text("service")
+        assert "service.run.exec_ms.bucket.5 2" in text
+
     def test_merge_sums_everything(self):
         a, b = MetricsRegistry(), MetricsRegistry()
         a.inc("x", 1)

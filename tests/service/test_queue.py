@@ -140,6 +140,24 @@ class TestEngine:
         assert engine.registry.get("service.jobs.done") == 1
         assert engine.quotas.active("t1") == {"jobs": 0, "runs": 0}
 
+    def test_latency_histograms_populated(self):
+        async def main():
+            engine = make_engine()
+            await engine.start()
+            job = engine.submit([BFS, NW])
+            await collect_events(engine, job.id)
+            await engine.stop()
+            return engine
+
+        engine = run(main())
+        snap = engine.registry.as_dict()
+        assert snap["service.queue.wait_ms.count"] == 1  # per job dispatch
+        assert snap["service.run.exec_ms.count"] == 2    # per run outcome
+        for path in ("service.queue.wait_ms", "service.run.exec_ms"):
+            buckets = [k for k in snap if k.startswith(path + ".bucket.")]
+            assert buckets, path
+            assert sum(snap[k] for k in buckets) == snap[path + ".count"]
+
     def test_failed_run_fails_job_with_summary(self):
         async def main():
             engine = make_engine(FakeRunner(fail_keys={"nw/baseline"}))

@@ -10,7 +10,7 @@ gating hooks forced to "always tick".
 
 from __future__ import annotations
 
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.energy import Counters
 from repro.harness.runner import SuiteRunner
@@ -86,6 +86,11 @@ def _drive_hierarchy(trace, icnt_rate, dram_rate, gated):
 
 
 @given(hier_trace, st.sampled_from(_RATES), st.sampled_from(_RATES))
+# Regression: a long idle gap at rate 0.25 used to under-credit the token
+# buckets (regen clamp assumed saturation within 8 cycles; the icnt bucket
+# needs 16 and DRAM 32 at the slowest rate), delaying a hit by one cycle.
+@example(trace=[(8, 0, 0, False), (0, 0, 0, False), (0, 0, 0, False)],
+         icnt=0.25, dram=0.25)
 @settings(max_examples=40, deadline=None)
 def test_hierarchy_demand_clock_matches_reference(trace, icnt, dram):
     ref_counters, ref_events = _drive_hierarchy(trace, icnt, dram, gated=False)
