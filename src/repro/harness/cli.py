@@ -211,6 +211,46 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="for 'serve': max unique runs per scheduler batch "
              "(default 32)",
     )
+    parser.add_argument(
+        "--compact-every",
+        type=int,
+        default=256,
+        metavar="N",
+        help="for 'serve': journal records between snapshot compactions "
+             "(default 256)",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="for 'serve': default per-job deadline; overdue jobs keep "
+             "finished runs and mark the rest 'expired' (default: none)",
+    )
+    parser.add_argument(
+        "--max-queued",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="for 'serve': backpressure bound on queued runs; beyond it "
+             "submissions are shed with 503 (default 4096)",
+    )
+    parser.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="for 'serve': consecutive broken batches that open the "
+             "executor circuit breaker (default 3)",
+    )
+    parser.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="for 'serve': seconds the breaker stays open before a "
+             "half-open recovery probe (default 30)",
+    )
     args = parser.parse_args(argv)
 
     if args.profile:
@@ -324,7 +364,7 @@ def _dispatch_runner(args: argparse.Namespace, runner: SuiteRunner,
 def _serve(args: argparse.Namespace, policy, watchdog) -> int:
     """The ``serve`` verb: run the simulation-service daemon until a
     SIGTERM/SIGINT-triggered graceful drain completes."""
-    from ..service import ServiceConfig
+    from ..service import BreakerConfig, ServiceConfig
     from ..service.app import serve as serve_daemon
     from .parallel import resolve_jobs
 
@@ -339,6 +379,13 @@ def _serve(args: argparse.Namespace, policy, watchdog) -> int:
         watchdog=watchdog,
         state_path=state_path,
         cache=False if args.no_cache else None,
+        compact_every=max(1, args.compact_every),
+        breaker=BreakerConfig(
+            failure_threshold=max(1, args.breaker_threshold),
+            reset_timeout=max(0.0, args.breaker_reset),
+        ),
+        max_queued_runs=max(1, args.max_queued),
+        default_deadline=args.deadline,
     )
     return serve_daemon(host=args.host, port=args.port, config=config)
 

@@ -22,6 +22,19 @@ Two families of injectors:
   progress that never re-readies parked warps — the lost-wake bug that
   drains the event wheel into a structured hang).
 
+* **Service (daemon) faults** — specs encoded into
+  ``REPRO_SERVICE_FAULTS`` that the *daemon itself* consults at named
+  points (``journal.submit.pre``, ``dispatch.pre``, ``compact.post``,
+  ...).  Same exactly-``count`` claim discipline via the shared
+  ``REPRO_FAULT_DIR``, so a restarted daemon with the plan still armed
+  does not re-fire an exhausted fault.  Kinds:
+
+  - ``kill``    — ``os._exit`` the daemon at the point (crash test).
+  - ``torn``    — write a partial journal frame, fsync, then die (the
+    torn tail replay must truncate-and-continue past).
+  - ``bitflip`` — write a corrupted journal frame, fsync, then die (a
+    checksum-mismatching record replay must drop).
+
 Both families are deterministic: no randomness, no timing dependence
 beyond the injected sleep itself.
 """
@@ -32,25 +45,34 @@ import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Sequence
+from typing import Callable, Iterator, List, Optional, Sequence
 
 __all__ = [
     "FAULTS_ENV",
     "FAULT_DIR_ENV",
+    "SERVICE_FAULTS_ENV",
     "FaultSpec",
     "InjectedFault",
+    "ServiceFaultSpec",
     "drop_wakes",
     "encode_plan",
+    "encode_service_plan",
     "freeze_admission",
     "injected_faults",
+    "injected_service_faults",
     "maybe_fire",
     "parse_plan",
+    "parse_service_plan",
+    "service_fault",
+    "service_kill_point",
 ]
 
 FAULTS_ENV = "REPRO_FAULTS"
 FAULT_DIR_ENV = "REPRO_FAULT_DIR"
+SERVICE_FAULTS_ENV = "REPRO_SERVICE_FAULTS"
 
 _KINDS = ("kill", "hang", "raise")
+_SERVICE_KINDS = ("kill", "torn", "bitflip")
 
 #: exit status a ``kill`` fault dies with — distinctive in worker logs.
 KILL_EXIT_CODE = 64
@@ -125,10 +147,10 @@ def injected_faults(specs: Sequence[FaultSpec], claim_dir: str) -> Iterator[None
                 os.environ[env] = old
 
 
-def _claim(claim_dir: str, spec_idx: int, count: int) -> bool:
-    """Atomically claim one of ``count`` firings of spec ``spec_idx``."""
+def _claim(claim_dir: str, tag: str, count: int) -> bool:
+    """Atomically claim one of ``count`` firings of the spec ``tag``."""
     for seq in range(count):
-        path = os.path.join(claim_dir, f"fault{spec_idx}.{seq}")
+        path = os.path.join(claim_dir, f"{tag}.{seq}")
         try:
             fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
@@ -151,7 +173,8 @@ def maybe_fire(key: str) -> None:
     for idx, spec in enumerate(parse_plan(text)):
         if not spec.matches(key):
             continue
-        if claim_dir is not None and not _claim(claim_dir, idx, spec.count):
+        if claim_dir is not None and \
+                not _claim(claim_dir, f"fault{idx}", spec.count):
             continue
         if spec.kind == "kill":
             os._exit(KILL_EXIT_CODE)
@@ -159,6 +182,93 @@ def maybe_fire(key: str) -> None:
             time.sleep(spec.delay or 3600.0)
         else:  # raise
             raise InjectedFault(f"injected fault on {key}")
+
+
+# -- service (daemon) faults --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServiceFaultSpec:
+    """One daemon-side fault: ``kind`` fired at the named ``point``.
+
+    Points are exact strings the service consults at its crash-critical
+    moments (``journal.<record-type>.pre/.post``, ``dispatch.pre``,
+    ``compact.pre/.post``).  ``count`` bounds firings across daemon
+    restarts sharing the claim directory.
+    """
+
+    kind: str
+    point: str
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SERVICE_KINDS:
+            raise ValueError(f"unknown service fault kind {self.kind!r}")
+
+
+def encode_service_plan(specs: Sequence[ServiceFaultSpec]) -> str:
+    return ";".join(f"{s.kind}@{s.point}:{s.count}" for s in specs)
+
+
+def parse_service_plan(text: str) -> List[ServiceFaultSpec]:
+    specs: List[ServiceFaultSpec] = []
+    for part in text.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        kind, _, rest = part.partition("@")
+        point, _, count = rest.rpartition(":")
+        specs.append(ServiceFaultSpec(kind=kind, point=point,
+                                      count=int(count)))
+    return specs
+
+
+@contextmanager
+def injected_service_faults(specs: Sequence[ServiceFaultSpec],
+                            claim_dir: str) -> Iterator[None]:
+    """Arm daemon faults for every process spawned while open."""
+    os.makedirs(claim_dir, exist_ok=True)
+    old_plan = os.environ.get(SERVICE_FAULTS_ENV)
+    old_dir = os.environ.get(FAULT_DIR_ENV)
+    os.environ[SERVICE_FAULTS_ENV] = encode_service_plan(specs)
+    os.environ[FAULT_DIR_ENV] = claim_dir
+    try:
+        yield
+    finally:
+        for env, old in ((SERVICE_FAULTS_ENV, old_plan),
+                         (FAULT_DIR_ENV, old_dir)):
+            if old is None:
+                os.environ.pop(env, None)
+            else:
+                os.environ[env] = old
+
+
+def service_fault(point: str) -> Optional[str]:
+    """The armed fault kind for a named daemon point, claiming one firing.
+
+    Returns ``None`` (the overwhelmingly common case) unless
+    ``REPRO_SERVICE_FAULTS`` names this exact point with budget left."""
+    text = os.environ.get(SERVICE_FAULTS_ENV)
+    if not text:
+        return None
+    claim_dir = os.environ.get(FAULT_DIR_ENV)
+    for idx, spec in enumerate(parse_service_plan(text)):
+        if spec.point != point:
+            continue
+        if claim_dir is not None and \
+                not _claim(claim_dir, f"svc{idx}", spec.count):
+            continue
+        return spec.kind
+    return None
+
+
+def service_kill_point(point: str) -> None:
+    """Die hard (``os._exit``) if a ``kill`` fault is armed at ``point``.
+
+    Any other kind armed at the point is consumed but ignored — only the
+    journal's write path knows how to produce torn/bitflipped frames."""
+    if service_fault(point) == "kill":
+        os._exit(KILL_EXIT_CODE)
 
 
 # -- in-process backend wedges ------------------------------------------------

@@ -178,6 +178,9 @@ class RunOutcome:
     attempts: int = 0
     retried: int = 0
     error: str = ""
+    #: the watchdog's JSON-safe hang snapshot (dominant shard, stall
+    #: bins, CM admission state) for ``hung`` outcomes; ``None`` otherwise.
+    diagnostics: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -297,6 +300,7 @@ class _Tracked:
     attempts: int = 0
     failures: int = 0
     last_error: str = ""
+    last_diagnostics: Optional[Dict[str, Any]] = None
     outcome: Optional[RunOutcome] = None
 
 
@@ -375,6 +379,7 @@ def run_requests_resilient(
     def finalize(idx: int, status: str, result=None) -> None:
         nonlocal done_count
         t = tracked[idx]
+        diagnostics = t.last_diagnostics if status != RunOutcome.OK else None
         t.outcome = RunOutcome(
             request=t.request,
             status=status,
@@ -382,6 +387,7 @@ def run_requests_resilient(
             attempts=t.attempts,
             retried=max(0, t.attempts - 1),
             error=t.last_error,
+            diagnostics=diagnostics,
         )
         done_count += 1
         emit(f"grid.{status}")
@@ -396,16 +402,20 @@ def run_requests_resilient(
                 attempts=t.attempts,
                 retried=max(0, t.attempts - 1),
                 error=t.last_error,
+                diagnostics=diagnostics,
             )
             done_count += 1
             emit("grid.deduped")
             if on_outcome is not None:
                 on_outcome(dup, d.outcome)
 
-    def record_failure(idx: int, kind: str, error: str, now: float) -> None:
+    def record_failure(idx: int, kind: str, error: str, now: float,
+                       diagnostics: Optional[Dict[str, Any]] = None) -> None:
         t = tracked[idx]
         t.failures += 1
         t.last_error = error
+        if diagnostics is not None:
+            t.last_diagnostics = diagnostics
         emit(f"grid.failure_{kind}")
         if t.attempts > policy.retries:
             finalize(idx, kind)
@@ -460,7 +470,8 @@ def run_requests_resilient(
                             now,
                         )
                     except SimulationHang as exc:
-                        record_failure(idx, RunOutcome.HUNG, str(exc), now)
+                        record_failure(idx, RunOutcome.HUNG, str(exc), now,
+                                       diagnostics=exc.diagnostics)
                     except Exception as exc:  # noqa: BLE001
                         record_failure(
                             idx, RunOutcome.CRASHED,

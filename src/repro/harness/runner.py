@@ -483,12 +483,14 @@ class SuiteRunner:
         scope = self._metrics_scope
         attempts = 0
         last_error = ""
+        last_diagnostics = None
         while True:
             attempts += 1
             try:
                 result = self._execute(request)
             except SimulationHang as exc:
                 kind, last_error = RunOutcome.HUNG, str(exc)
+                last_diagnostics = exc.diagnostics
             except Exception as exc:  # noqa: BLE001
                 kind = RunOutcome.CRASHED
                 last_error = f"{type(exc).__name__}: {exc}"
@@ -501,13 +503,14 @@ class SuiteRunner:
             if attempts > policy.retries:
                 scope.inc(f"grid.{kind}")
                 return RunOutcome(
-                    request, kind, None, attempts, attempts - 1, last_error
+                    request, kind, None, attempts, attempts - 1, last_error,
+                    diagnostics=last_diagnostics,
                 )
             if attempts >= policy.quarantine_after:
                 scope.inc("grid.quarantined")
                 return RunOutcome(
                     request, RunOutcome.QUARANTINED, None, attempts,
-                    attempts - 1, last_error,
+                    attempts - 1, last_error, diagnostics=last_diagnostics,
                 )
             scope.inc("grid.retries")
             time.sleep(policy.delay(request.key, attempts))

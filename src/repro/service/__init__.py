@@ -12,6 +12,10 @@ in a long-running daemon so many clients can share one simulation fleet:
   in-flight requests across clients collapse to one execution.
 * :mod:`repro.service.queue`     — the job store, priority scheduler,
   and drain/restart persistence (the engine).
+* :mod:`repro.service.journal`   — the fsynced write-ahead journal the
+  engine persists through (crash consistency, exactly-once replay).
+* :mod:`repro.service.supervisor`— batch health probes and the executor
+  circuit breaker (load shedding while the pool is broken).
 * :mod:`repro.service.app`       — the asyncio HTTP/JSON front end
   (``POST /jobs``, ``GET /jobs/<id>``, ``GET /jobs/<id>/events``,
   ``GET /jobs/<id>/result``, ``GET /metrics``, ``GET /healthz``).
@@ -25,18 +29,27 @@ operational contract are documented in ``docs/service.md``.
 from .admission import AdmissionController
 from .app import ServiceApp, serve
 from .client import ServiceClient, ServiceError
+from .journal import JournalStore
 from .queue import DrainingError, Job, JobStore, Priority, ServiceConfig, \
     ServiceEngine
 from .quotas import QuotaError, QuotaGate, RateLimited, TenantQuota, TokenBucket
 from .schemas import SpecError, job_to_wire, outcome_to_wire, parse_job_spec, \
     request_from_wire, request_to_wire, result_to_wire
+from .supervisor import BreakerConfig, BreakerOpen, CircuitBreaker, \
+    OverloadedError, Supervisor
 
 __all__ = [
     "AdmissionController",
+    "BreakerConfig",
+    "BreakerOpen",
+    "CircuitBreaker",
     "DrainingError",
     "Job",
     "JobStore",
+    "JournalStore",
+    "OverloadedError",
     "Priority",
+    "Supervisor",
     "QuotaError",
     "QuotaGate",
     "RateLimited",

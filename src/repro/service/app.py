@@ -20,7 +20,9 @@ routes:
 
 Tenancy is taken from the ``X-Tenant`` header (default ``anon``).
 Error mapping: spec errors → 400, unknown job → 404, quota/rate → 429
-(with ``Retry-After``), draining → 503.
+(with ``Retry-After``), draining / breaker open / queue full → 503
+(with ``Retry-After``).  ``/events?after=<seq>`` resumes a stream from
+a per-job event sequence number (reconnect support).
 
 ``SIGTERM``/``SIGINT`` trigger graceful drain: in-flight runs finish and
 are cached, the queue is persisted, and a daemon restarted with the same
@@ -38,6 +40,7 @@ from urllib.parse import parse_qs, urlsplit
 from .queue import DrainingError, ServiceConfig, ServiceEngine
 from .quotas import QuotaError, RateLimited
 from .schemas import SpecError, parse_job_spec, request_to_wire
+from .supervisor import OverloadedError
 
 __all__ = ["ServiceApp", "serve"]
 
@@ -87,10 +90,17 @@ class ServiceApp:
 
     async def shutdown(self, drain: bool = True) -> None:
         if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+            self._server.close()  # stop accepting; in-flight streams live on
         if drain:
+            # Ends every live /events stream with a drain marker — must
+            # happen before wait_closed(), which on newer asyncio waits
+            # for those connection handlers to finish.
             await self.engine.drain()
+        if self._server is not None:
+            try:
+                await asyncio.wait_for(self._server.wait_closed(), timeout=5.0)
+            except asyncio.TimeoutError:  # pragma: no cover — safety net
+                pass
         await self.engine.stop()
 
     def request_drain(self) -> None:
@@ -232,7 +242,17 @@ class ServiceApp:
                 raise _HTTPError(405, f"{method} not allowed on /jobs/<id>")
             if len(parts) == 3 and method == "GET":
                 if parts[2] == "events":
-                    return await self._stream_events(writer, job_id)
+                    after = -1
+                    raw_after = (query.get("after") or [""])[0]
+                    if raw_after:
+                        try:
+                            after = int(raw_after)
+                        except ValueError:
+                            raise _HTTPError(
+                                400, f"after must be an integer, "
+                                     f"got {raw_after!r}"
+                            )
+                    return await self._stream_events(writer, job_id, after)
                 if parts[2] == "result":
                     return await self._result(writer, job_id)
         raise _HTTPError(404, f"no route for {method} {path}")
@@ -243,15 +263,22 @@ class ServiceApp:
         except ValueError:
             raise _HTTPError(400, "body is not valid JSON")
         try:
-            requests, priority, tags = parse_job_spec(spec)
+            requests, priority, tags, deadline_s = parse_job_spec(spec)
         except SpecError as err:
             raise _HTTPError(400, str(err))
         tenant = headers.get("x-tenant", "anon")
         try:
             job = self.engine.submit(requests, tenant=tenant,
-                                     priority=priority, tags=tags)
+                                     priority=priority, tags=tags,
+                                     deadline_s=deadline_s)
         except DrainingError as err:
             raise _HTTPError(503, str(err), {"Retry-After": "5"})
+        except OverloadedError as err:
+            # breaker open or queue full: shed with an explicit retry hint
+            raise _HTTPError(
+                503, str(err),
+                {"Retry-After": f"{max(0.1, err.retry_after):.1f}"},
+            )
         except RateLimited as err:
             raise _HTTPError(
                 429, str(err),
@@ -283,9 +310,13 @@ class ServiceApp:
         }
         await self._send(writer, 200, _json_bytes(payload))
 
-    async def _stream_events(self, writer, job_id: str) -> None:
-        """NDJSON event stream: replay, then live until terminal."""
-        replay, queue = self.engine.subscribe(job_id)
+    async def _stream_events(self, writer, job_id: str,
+                             after: int = -1) -> None:
+        """NDJSON event stream: replay, then live until terminal.
+
+        ``?after=<seq>`` skips events a reconnecting client already saw
+        (events carry per-job sequence numbers for exactly this)."""
+        replay, queue = self.engine.subscribe(job_id, after=after)
         head = (
             "HTTP/1.1 200 OK\r\n"
             "Content-Type: application/x-ndjson\r\n"

@@ -9,13 +9,22 @@ Stdlib-only (``http.client``), usable from scripts, tests, and CI::
     for event in client.events(job["id"]):      # streams NDJSON live
         print(event["status"], event.get("request"))
     result = client.result(job["id"])           # full SimStats bundle
+
+Robustness: idempotent GETs retry with exponential backoff across
+connection errors (a restarting daemon looks like a refused connect for
+a moment), and :meth:`events` reconnects a dropped NDJSON stream,
+resuming from the last-seen event sequence number via ``?after=`` so no
+event is missed or duplicated across a daemon restart.  Mutating
+requests (``POST``/``DELETE``) are never retried automatically.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+import time
+from typing import Any, Callable, Dict, Iterator, List, Optional, \
+    Sequence, Union
 
 from ..harness.parallel import RunRequest
 from .schemas import request_to_wire
@@ -40,11 +49,18 @@ class ServiceClient:
     """One service endpoint + tenant identity."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8787,
-                 tenant: str = "anon", timeout: float = 300.0):
+                 tenant: str = "anon", timeout: float = 300.0,
+                 retries: int = 4, backoff: float = 0.25,
+                 sleep: Callable[[float], None] = time.sleep):
         self.host = host
         self.port = port
         self.tenant = tenant
         self.timeout = timeout
+        #: connection-error retries for idempotent GETs and streams.
+        self.retries = retries
+        #: base delay for exponential backoff (doubles per retry, capped).
+        self.backoff = backoff
+        self._sleep = sleep
 
     # -- plumbing ----------------------------------------------------------
 
@@ -53,22 +69,39 @@ class ServiceClient:
             self.host, self.port, timeout=self.timeout
         )
 
+    def _backoff_delay(self, attempt: int) -> float:
+        return min(4.0, self.backoff * (2 ** attempt))
+
     def _request(self, method: str, path: str,
                  body: Optional[Any] = None) -> Any:
-        conn = self._connect()
-        try:
-            payload = None if body is None else json.dumps(body)
-            conn.request(method, path, body=payload, headers={
-                "Content-Type": "application/json",
-                "X-Tenant": self.tenant,
-            })
-            response = conn.getresponse()
-            data = response.read()
-            if response.status >= 400:
-                raise self._error(response, data)
-            return json.loads(data) if data else None
-        finally:
-            conn.close()
+        # Only GETs are safe to replay blindly: a resent POST could
+        # double-submit a job across an ambiguous failure.
+        attempts = 1 + (self.retries if method == "GET" else 0)
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            if attempt:
+                self._sleep(self._backoff_delay(attempt - 1))
+            conn = self._connect()
+            try:
+                payload = None if body is None else json.dumps(body)
+                conn.request(method, path, body=payload, headers={
+                    "Content-Type": "application/json",
+                    "X-Tenant": self.tenant,
+                })
+                response = conn.getresponse()
+                data = response.read()
+                if response.status >= 400:
+                    raise self._error(response, data)
+                return json.loads(data) if data else None
+            except (OSError, http.client.HTTPException) as exc:
+                last_error = exc
+            finally:
+                conn.close()
+        raise ServiceError(
+            503,
+            f"{method} {path} failed after {attempts} attempt(s): "
+            f"{type(last_error).__name__}: {last_error}",
+        )
 
     @staticmethod
     def _error(response, data: bytes) -> ServiceError:
@@ -110,13 +143,15 @@ class ServiceClient:
         the job is still running."""
         return self._request("GET", f"/jobs/{job_id}/result")
 
-    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
-        """GET /jobs/<id>/events — yields NDJSON events until the stream
-        ends with the terminal ``{"event": "job", ...}`` record."""
+    def _stream_once(self, job_id: str,
+                     after: int) -> Iterator[Dict[str, Any]]:
+        """One connection's worth of the NDJSON event stream."""
+        path = f"/jobs/{job_id}/events"
+        if after >= 0:
+            path += f"?after={after}"
         conn = self._connect()
         try:
-            conn.request("GET", f"/jobs/{job_id}/events",
-                         headers={"X-Tenant": self.tenant})
+            conn.request("GET", path, headers={"X-Tenant": self.tenant})
             response = conn.getresponse()
             if response.status >= 400:
                 raise self._error(response, response.read())
@@ -126,6 +161,58 @@ class ServiceClient:
                     yield json.loads(line)
         finally:
             conn.close()
+
+    def events(self, job_id: str, after: int = -1,
+               reconnect: bool = True) -> Iterator[Dict[str, Any]]:
+        """GET /jobs/<id>/events — yields NDJSON events until the stream
+        ends with the terminal ``{"event": "job", ...}`` record.
+
+        With ``reconnect`` (the default), a dropped connection, a daemon
+        restart, or a ``{"event": "service", "status": "draining"}``
+        marker triggers reconnect-with-backoff, resuming from the last
+        seen event sequence number — the caller observes one gapless,
+        duplicate-free stream across daemon lives."""
+        last = after
+        failures = 0
+        while True:
+            got_event = False
+            try:
+                for event in self._stream_once(job_id, last):
+                    if event.get("event") == "service":
+                        # drain marker: daemon is going down mid-stream
+                        if not reconnect:
+                            yield event
+                            return
+                        break
+                    seq = event.get("seq")
+                    if isinstance(seq, int):
+                        last = max(last, seq)
+                    got_event = True
+                    yield event
+                    if event.get("event") == "job":
+                        return
+                else:
+                    # stream ended without a terminal event (connection
+                    # torn down mid-flight) — reconnect below
+                    pass
+            except (OSError, http.client.HTTPException):
+                pass
+            except ServiceError as err:
+                if err.status == 404 or not reconnect:
+                    raise
+                # 503 while the daemon drains/restarts: retry below
+            if not reconnect:
+                return
+            if got_event:
+                failures = 0  # progress resets the backoff budget
+            failures += 1
+            if failures > self.retries:
+                raise ServiceError(
+                    503,
+                    f"event stream for job {job_id} died "
+                    f"{failures} time(s) without completing",
+                )
+            self._sleep(self._backoff_delay(failures - 1))
 
     def wait(self, job_id: str) -> Dict[str, Any]:
         """Stream events until the job is terminal, then fetch the result."""

@@ -1,4 +1,4 @@
-"""Job store, priority scheduler, and drain/restart for the service.
+"""Job store, priority scheduler, and crash-consistent persistence.
 
 :class:`ServiceEngine` is the daemon's core and is HTTP-free: the app
 layer (:mod:`repro.service.app`) translates requests into these calls,
@@ -23,18 +23,27 @@ queue for the next batch.
 The PR-5 resilience machinery is the service's SLO layer: the engine's
 ``FaultPolicy``/``WatchdogConfig`` bound per-run wall-clock and retries,
 and quarantined/hung/crashed runs surface as per-run outcome events
-rather than wedging the daemon.
+rather than wedging the daemon.  Above it, the :class:`Supervisor`
+watches *batch* health: repeated pool breakage opens a circuit breaker
+that sheds new submissions (503 + ``Retry-After``) and pauses dispatch
+until a half-open probe proves recovery.  Per-job deadlines degrade
+gracefully — finished runs keep their outcomes, the remainder is marked
+``expired`` — and admission is backpressure-bounded.
 
-Drain and restart
+Crash consistency
 -----------------
 
-``drain()`` stops batch launches, waits for the in-flight batch to
-finish (its results are installed in the crash-safe disk cache), and
-persists every job — finished ones with their recorded outcomes,
-unfinished ones with whatever outcomes they already collected.  A
-restarted engine re-enqueues only the missing runs; anything the
-previous life completed is served from the disk cache without
-re-simulation.
+With a ``state_path``, every mutation is journaled through
+:class:`~repro.service.journal.JournalStore` **before** it is applied in
+memory or published to clients (write-ahead ordering).  A killed daemon
+restarts from snapshot + journal replay: outcomes that were journaled
+are served verbatim (never re-executed — exactly-once accounting), runs
+that never produced a journaled outcome are re-dispatched through the
+``jobs/runs.resumed`` path, where the content-addressed disk cache
+makes any re-dispatch of work that *simulated* but didn't *journal* a
+cheap, deterministic cache hit.  ``drain()`` additionally compacts the
+journal into the snapshot so a graceful shutdown leaves a plain JSON
+state file.
 """
 
 from __future__ import annotations
@@ -50,14 +59,17 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple, TYPE_CHECKING
 
+from ..harness.faults import service_kill_point
 from ..harness.parallel import FaultPolicy, RunOutcome, RunRequest
 from ..harness.runner import SuiteRunner
 from ..obs.metrics import MetricsRegistry, bucket_125
 from ..sim.watchdog import WatchdogConfig
 from .admission import AdmissionController
+from .journal import JournalStore
 from .quotas import QuotaGate, TenantQuota
 from .schemas import job_to_wire, outcome_to_wire, request_from_wire, \
     request_to_wire
+from .supervisor import BreakerConfig, OverloadedError, Supervisor
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..harness.cache import ResultCache
@@ -113,6 +125,12 @@ class Job:
     #: JSON-safe by construction, so persistence is a plain dump.
     outcomes: Dict[int, Dict[str, Any]] = field(default_factory=dict)
     error: str = ""
+    #: per-job deadline in seconds from ``created`` (``None`` = never).
+    deadline_s: Optional[float] = None
+    #: monotonic submission timestamp for queue-wait metrics — transient
+    #: (not persisted); ``created``/``finished_at`` stay wall-clock for
+    #: display, but a wall step must not skew ``queue.wait_ms``.
+    submitted_mono: float = field(default=0.0, repr=False, compare=False)
 
     @property
     def terminal(self) -> bool:
@@ -131,6 +149,7 @@ class Job:
             "finished_at": self.finished_at,
             "tags": dict(self.tags),
             "error": self.error,
+            "deadline_s": self.deadline_s,
             "requests": [request_to_wire(r) for r in self.requests],
             "outcomes": {str(i): o for i, o in self.outcomes.items()},
         }
@@ -148,11 +167,17 @@ class Job:
             finished_at=record.get("finished_at", 0.0),
             outcomes={int(i): o for i, o in record.get("outcomes", {}).items()},
             error=record.get("error", ""),
+            deadline_s=record.get("deadline_s"),
         )
 
 
 class JobStore:
-    """Atomic JSON persistence for the job table (drain/restart)."""
+    """Atomic JSON snapshot of the job table.
+
+    This is the legacy one-shot persistence layer (rewrite-on-save); the
+    engine now persists through :class:`~repro.service.journal.JournalStore`,
+    which writes the *same* snapshot format at compaction time, so files
+    produced by either load in both."""
 
     def __init__(self, path: str):
         self.path = path
@@ -209,6 +234,19 @@ class ServiceConfig:
     #: forwarded to :class:`SuiteRunner` (``None`` = default disk cache).
     cache: Any = None
     config: Optional["GPUConfig"] = None
+    #: journal records between snapshot compactions.
+    compact_every: int = 256
+    #: fsync every journal append (disable only for throwaway tests).
+    journal_fsync: bool = True
+    #: executor circuit breaker policy (``None`` = defaults).
+    breaker: Optional[BreakerConfig] = None
+    #: admission backpressure: max runs queued (not yet dispatched).
+    max_queued_runs: int = 4096
+    #: default per-job deadline in seconds; a spec's ``deadline_s``
+    #: overrides it (``None`` = jobs never expire).
+    default_deadline: Optional[float] = None
+    #: deadline sweeper poll interval in seconds.
+    deadline_poll: float = 0.25
 
 
 class ServiceEngine:
@@ -227,19 +265,26 @@ class ServiceEngine:
         self.metrics = self.registry.scope("service")
         self.quotas = QuotaGate(self.config.quota, self.config.per_tenant)
         self.admission = AdmissionController(self.metrics)
-        self.store = JobStore(self.config.state_path) \
-            if self.config.state_path else None
+        self.supervisor = Supervisor(self.config.breaker,
+                                     metrics=self.metrics)
+        self.store = JournalStore(
+            self.config.state_path,
+            fsync=self.config.journal_fsync,
+            compact_every=self.config.compact_every,
+            metrics=self.metrics.scope("journal"),
+        ) if self.config.state_path else None
         self.jobs: Dict[str, Job] = {}
         self._order: List[str] = []  # submission order, for listings
         self._seq = 0
-        #: priority heap of (class order, seq, job id, run index).
-        self._work: List[Tuple[int, int, str, int]] = []
+        #: priority heap of (class order, seq, request identity).
+        self._work: List[Tuple[int, int, str]] = []
         self._wake = asyncio.Event()
         self._subscribers: Dict[str, List[asyncio.Queue]] = {}
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-service-batch"
         )
         self._scheduler_task: Optional[asyncio.Task] = None
+        self._deadline_task: Optional[asyncio.Task] = None
         self._batch_busy = False
         self._idle = asyncio.Event()
         self._idle.set()
@@ -249,18 +294,26 @@ class ServiceEngine:
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Load persisted state and start the scheduler task."""
+        """Replay persisted state and start the scheduler task."""
         if self.store is not None:
-            jobs, seq = self.store.load()
+            records, seq = self.store.load()
             self._seq = seq
             resumed_runs = 0
-            for job in jobs:
+            for record in records:
+                job = Job.from_record(record)
                 self.jobs[job.id] = job
                 self._order.append(job.id)
                 if job.terminal:
                     continue
                 job.status = Job.QUEUED
+                job.submitted_mono = time.monotonic()
                 missing = job.missing_indices()
+                if not missing:
+                    # every outcome was journaled before the crash; only
+                    # the finish record is missing — close the job out
+                    # without dispatching anything (exactly-once).
+                    self._finalize(job)
+                    continue
                 self.quotas.charge(job.tenant, len(missing))
                 for index in missing:
                     self._admit_work(job, index)
@@ -269,44 +322,77 @@ class ServiceEngine:
             if resumed_runs:
                 self.metrics.inc("runs.resumed", resumed_runs)
         self._scheduler_task = asyncio.ensure_future(self._scheduler())
+        self._deadline_task = asyncio.ensure_future(self._deadline_sweeper())
         self._wake.set()
 
     async def stop(self) -> None:
         """Stop without draining (tests; prefer :meth:`drain` + stop)."""
         self._stopped = True
         self._wake.set()
-        if self._scheduler_task is not None:
-            self._scheduler_task.cancel()
+        for task in (self._scheduler_task, self._deadline_task):
+            if task is None:
+                continue
+            task.cancel()
             try:
-                await self._scheduler_task
+                await task
             except (asyncio.CancelledError, Exception):  # noqa: BLE001
                 pass
         self._executor.shutdown(wait=False)
+        if self.store is not None:
+            self.store.close()
 
     async def drain(self) -> None:
         """Graceful shutdown step 1: refuse new jobs, finish the in-flight
-        batch, persist every job.  Queued-but-unstarted work survives in
-        the store for the next life of the daemon."""
+        batch, compact the journal into the snapshot.  Queued-but-unstarted
+        work survives in the store for the next life of the daemon."""
         if not self.draining:
             self.metrics.inc("drains")
         self.draining = True  # the app's signal handler may have set it
         self._wake.set()
         await self._idle.wait()
         self.persist()
+        self._close_streams()
 
     def persist(self) -> None:
+        """Compact journaled state into the snapshot (atomic rewrite)."""
         if self.store is not None:
-            self.store.save([self.jobs[j] for j in self._order], self._seq)
+            self.store.compact(
+                [self.jobs[j].to_record() for j in self._order], self._seq
+            )
+
+    def _journal(self, entry: Dict[str, Any]) -> None:
+        """Durably journal one mutation *before* the caller applies it."""
+        if self.store is None:
+            return
+        entry.setdefault("seq", self._seq)
+        self.store.append(entry)
+
+    def _maybe_compact(self) -> None:
+        """Fold the journal into the snapshot once it has grown enough.
+
+        Called only at points where the in-memory table reflects every
+        journaled record (never between a journal append and its apply)."""
+        if self.store is not None and self.store.should_compact():
+            self.persist()
 
     # -- submission and queries --------------------------------------------
 
     def submit(self, requests: List[RunRequest], tenant: str = "anon",
                priority: str = Priority.BATCH,
-               tags: Optional[Dict[str, Any]] = None) -> Job:
+               tags: Optional[Dict[str, Any]] = None,
+               deadline_s: Optional[float] = None) -> Job:
         if self.draining or self._stopped:
             raise DrainingError("service is draining; resubmit after restart")
         if priority not in Priority.NAMES:
             raise ValueError(f"unknown priority {priority!r}")
+        self.supervisor.admit()  # raises BreakerOpen while shedding
+        queued = len(self._work)
+        if queued + len(requests) > self.config.max_queued_runs:
+            self.metrics.inc("backpressure.shed")
+            raise OverloadedError(
+                f"queue is full ({queued} run(s) queued, "
+                f"bound {self.config.max_queued_runs}); retry later",
+            )
         self.quotas.admit(tenant, len(requests))  # raises QuotaError/RateLimited
         self._seq += 1
         job = Job(
@@ -316,14 +402,20 @@ class ServiceEngine:
             requests=list(requests),
             tags=dict(tags or {}),
             created=time.time(),
+            deadline_s=deadline_s if deadline_s is not None
+            else self.config.default_deadline,
+            submitted_mono=time.monotonic(),
         )
+        # Write-ahead: the job is durable before any client can see it.
+        self._journal({"type": "submit", "seq": self._seq,
+                       "job": job.to_record()})
         self.jobs[job.id] = job
         self._order.append(job.id)
         for index in range(len(job.requests)):
             self._admit_work(job, index)
         self.metrics.inc("jobs.submitted")
         self.metrics.inc("runs.submitted", len(job.requests))
-        self.persist()
+        self._maybe_compact()
         self._wake.set()
         return job
 
@@ -331,14 +423,16 @@ class ServiceEngine:
         job = self.jobs[job_id]
         if job.terminal:
             return job
+        finished_at = time.time()
+        self._journal({"type": "cancel", "job": job.id,
+                       "finished_at": finished_at})
         job.status = Job.CANCELLED
-        job.finished_at = time.time()
+        job.finished_at = finished_at
         self.admission.unsubscribe(job_id)
         self.quotas.release(job.tenant, len(job.requests))
         self.metrics.inc("jobs.cancelled")
-        self.persist()
-        self._publish(job, {"event": "job", "id": job.id,
-                            "status": job.status}, final=True)
+        self._publish(job, self._terminal_event(job), final=True)
+        self._maybe_compact()
         return job
 
     def job(self, job_id: str) -> Job:
@@ -349,16 +443,24 @@ class ServiceEngine:
 
     # -- event streams -----------------------------------------------------
 
-    def subscribe(self, job_id: str) -> Tuple[List[Dict[str, Any]],
-                                              Optional[asyncio.Queue]]:
+    def subscribe(self, job_id: str, after: int = -1) -> Tuple[
+            List[Dict[str, Any]], Optional[asyncio.Queue]]:
         """(replay of events so far, live queue or ``None`` if terminal).
 
-        The live queue yields event dicts and finally ``None``."""
+        The live queue yields event dicts and finally ``None``.  Events
+        carry a per-job ``seq``; ``after`` skips the replay up to and
+        including that sequence number, so a reconnecting client resumes
+        exactly where its stream died."""
         job = self.jobs[job_id]
-        replay = [job.outcomes[i] for i in sorted(job.outcomes)]
+        records = [job.outcomes[i] for i in sorted(job.outcomes)]
+        for position, record in enumerate(records):
+            record.setdefault("seq", position)  # pre-journal records
+        records.sort(key=lambda r: r["seq"])
+        replay = [r for r in records if r["seq"] > after]
         if job.terminal:
-            replay = replay + [{"event": "job", "id": job.id,
-                                "status": job.status}]
+            terminal = self._terminal_event(job)
+            if terminal["seq"] > after:
+                replay = replay + [terminal]
             return replay, None
         queue: asyncio.Queue = asyncio.Queue()
         self._subscribers.setdefault(job_id, []).append(queue)
@@ -369,6 +471,10 @@ class ServiceEngine:
         if queue in queues:
             queues.remove(queue)
 
+    def _terminal_event(self, job: Job) -> Dict[str, Any]:
+        return {"event": "job", "id": job.id, "status": job.status,
+                "seq": len(job.outcomes)}
+
     def _publish(self, job: Job, event: Dict[str, Any],
                  final: bool = False) -> None:
         for queue in self._subscribers.get(job.id, []):
@@ -377,6 +483,16 @@ class ServiceEngine:
                 queue.put_nowait(None)
         if final:
             self._subscribers.pop(job.id, None)
+
+    def _close_streams(self) -> None:
+        """Drain: end every live stream with a service marker so clients
+        know to reconnect (``?after=<seq>``) once the daemon restarts."""
+        for job_id, queues in list(self._subscribers.items()):
+            for queue in queues:
+                queue.put_nowait({"event": "service", "status": "draining",
+                                  "job": job_id})
+                queue.put_nowait(None)
+        self._subscribers.clear()
 
     # -- scheduling --------------------------------------------------------
 
@@ -411,7 +527,11 @@ class ServiceEngine:
                     job.status = Job.RUNNING
                     # Queue-wait latency: submit -> first dispatch, into a
                     # 1-2-5 bucketed histogram (``service.queue.wait_ms``).
-                    wait_ms = max(0.0, (time.time() - job.created) * 1000.0)
+                    # Monotonic on both ends: a wall-clock step must not
+                    # produce negative or inflated samples.
+                    wait_ms = max(
+                        0.0, (time.monotonic() - job.submitted_mono) * 1000.0
+                    )
                     self.metrics.observe("queue.wait_ms", bucket_125(wait_ms))
         return batch
 
@@ -420,6 +540,16 @@ class ServiceEngine:
             await self._wake.wait()
             self._wake.clear()
             while not self._stopped and not self.draining:
+                if not self.supervisor.allow_dispatch():
+                    if not self._work:
+                        break
+                    # Breaker open with queued work: wait out the reset
+                    # timeout in small slices so drain/stop stay prompt.
+                    await asyncio.sleep(min(
+                        0.05,
+                        max(0.005, self.supervisor.breaker.retry_after()),
+                    ))
+                    continue
                 batch = self._collect_batch()
                 if not batch:
                     break
@@ -437,18 +567,23 @@ class ServiceEngine:
 
     async def _run_batch(self, batch: List[RunRequest]) -> None:
         loop = asyncio.get_running_loop()
+        service_kill_point("dispatch.pre")
+        self._journal({"type": "start",
+                       "runs": [request.identity for request in batch]})
         for request in batch:
             self.admission.mark_started(request)
         self.metrics.inc("batches")
         self.metrics.inc("runs.dispatched", len(batch))
 
         t_dispatch = time.perf_counter()
+        statuses: List[str] = []  # batch health probe for the supervisor
 
         def callback(index: int, outcome: RunOutcome) -> None:
             # Executor-thread side: marshal onto the loop and return.
             # Exec latency = dispatch -> outcome arrival (cache hits land
             # in the lowest buckets, real simulations in the upper ones).
             exec_ms = (time.perf_counter() - t_dispatch) * 1000.0
+            statuses.append(outcome.status)
             loop.call_soon_threadsafe(
                 self._on_outcome, batch[index], outcome, exec_ms
             )
@@ -458,17 +593,21 @@ class ServiceEngine:
                 batch, jobs=self.config.jobs, on_outcome=callback
             )
 
+        broke = False
         try:
             await loop.run_in_executor(self._executor, run)
         except Exception as exc:  # noqa: BLE001 — engine must not die
+            broke = True
             self.metrics.inc("batches.broken")
             error = f"batch execution failed: {type(exc).__name__}: {exc}"
             for request in batch:
                 if self.admission.is_inflight(request):
+                    statuses.append(RunOutcome.CRASHED)
                     self._on_outcome(
                         request,
                         RunOutcome(request, RunOutcome.CRASHED, error=error),
                     )
+        self.supervisor.observe_batch(statuses, broke=broke)
 
     def _on_outcome(self, request: RunRequest, outcome: RunOutcome,
                     exec_ms: Optional[float] = None) -> None:
@@ -485,29 +624,84 @@ class ServiceEngine:
             if job is None or job.terminal or index in job.outcomes:
                 continue
             record = outcome_to_wire(index, outcome, deduped=position > 0)
-            record["job"] = job.id
-            job.outcomes[index] = record
-            self._publish(job, record)
+            self._record_outcome(job, index, record)
             if not job.missing_indices():
                 finished.append(job)
         for job in finished:
             self._finalize(job)
+        self._maybe_compact()
+
+    def _record_outcome(self, job: Job, index: int,
+                        record: Dict[str, Any]) -> None:
+        """Journal one outcome, apply it, publish it — in that order."""
+        record["job"] = job.id
+        record["seq"] = len(job.outcomes)
+        self._journal({"type": "outcome", "job": job.id, "index": index,
+                       "record": record})
+        job.outcomes[index] = record
+        self._publish(job, record)
 
     def _finalize(self, job: Job) -> None:
         failed = [o for o in job.outcomes.values()
                   if o.get("status") != RunOutcome.OK]
-        job.status = Job.FAILED if failed else Job.DONE
-        job.finished_at = time.time()
+        status = Job.FAILED if failed else Job.DONE
+        finished_at = time.time()
+        error = ""
         if failed:
-            job.error = (
+            error = (
                 f"{len(failed)}/{len(job.requests)} run(s) failed: "
                 + ", ".join(sorted({o.get("status", "?") for o in failed}))
             )
+        self._journal({"type": "finish", "job": job.id, "status": status,
+                       "finished_at": finished_at, "error": error})
+        job.status = status
+        job.finished_at = finished_at
+        job.error = error
         self.quotas.release(job.tenant, len(job.requests))
         self.metrics.inc(f"jobs.{job.status}")
-        self.persist()
-        self._publish(job, {"event": "job", "id": job.id,
-                            "status": job.status}, final=True)
+        self._publish(job, self._terminal_event(job), final=True)
+
+    # -- deadlines ---------------------------------------------------------
+
+    async def _deadline_sweeper(self) -> None:
+        while not self._stopped:
+            self.expire_overdue()
+            await asyncio.sleep(self.config.deadline_poll)
+
+    def expire_overdue(self, now: Optional[float] = None) -> List[Job]:
+        """Expire jobs past their deadline (graceful degradation).
+
+        Finished runs keep their recorded outcomes; the remainder is
+        journaled and published as ``expired`` outcome records, and the
+        job finalizes ``failed``.  In-flight executions are left to
+        resolve — their results still land in the disk cache — but their
+        late outcomes are ignored (the job is terminal by then)."""
+        now = time.time() if now is None else now
+        expired: List[Job] = []
+        for job_id in self._order:
+            job = self.jobs[job_id]
+            if job.terminal or not job.deadline_s:
+                continue
+            if now - job.created < job.deadline_s:
+                continue
+            expired.append(job)
+            self.metrics.inc("jobs.expired")
+            self.admission.unsubscribe(job.id)
+            for index in job.missing_indices():
+                record = {
+                    "event": "outcome",
+                    "index": index,
+                    "request": request_to_wire(job.requests[index]),
+                    "status": "expired",
+                    "attempts": 0,
+                    "error": f"job deadline of {job.deadline_s:g}s exceeded",
+                }
+                self._record_outcome(job, index, record)
+                self.metrics.inc("runs.expired")
+            self._finalize(job)
+        if expired:
+            self._maybe_compact()
+        return expired
 
     # -- introspection -----------------------------------------------------
 
@@ -523,6 +717,7 @@ class ServiceEngine:
             "inflight_executions": len(self.admission),
             "deduped": self.admission.deduped,
             "batch_busy": self._batch_busy,
+            "breaker": self.supervisor.breaker.state,
         }
 
     def describe(self, job_id: str, runs: bool = False) -> Dict[str, Any]:

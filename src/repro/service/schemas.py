@@ -17,7 +17,8 @@ A job spec looks like::
         ...
       ],
       "priority": "batch",          # interactive | batch | bulk
-      "tags": {"note": "sweep 7"}   # optional, echoed back verbatim
+      "tags": {"note": "sweep 7"},  # optional, echoed back verbatim
+      "deadline_s": 3600            # optional per-job deadline (seconds)
     }
 """
 
@@ -114,13 +115,14 @@ def request_from_wire(wire: Mapping[str, Any]) -> RunRequest:
 
 def parse_job_spec(
     body: Any,
-) -> Tuple[List[RunRequest], str, Dict[str, Any]]:
-    """Validate a ``POST /jobs`` body -> (requests, priority, tags)."""
+) -> Tuple[List[RunRequest], str, Dict[str, Any], Optional[float]]:
+    """Validate a ``POST /jobs`` body -> (requests, priority, tags,
+    deadline seconds or ``None``)."""
     from .queue import Priority
 
     if not isinstance(body, Mapping):
         raise SpecError("job spec must be a JSON object")
-    unknown = set(body) - {"runs", "priority", "tags"}
+    unknown = set(body) - {"runs", "priority", "tags", "deadline_s"}
     if unknown:
         raise SpecError(f"unknown job-spec field(s): {sorted(unknown)}")
     runs = body.get("runs")
@@ -141,7 +143,15 @@ def parse_job_spec(
     tags = body.get("tags", {})
     if not isinstance(tags, Mapping):
         raise SpecError("tags must be an object")
-    return requests, priority, dict(tags)
+    deadline_s = body.get("deadline_s")
+    if deadline_s is not None and (
+        not isinstance(deadline_s, (int, float))
+        or isinstance(deadline_s, bool) or deadline_s <= 0
+    ):
+        raise SpecError(
+            f"deadline_s must be a positive number, got {deadline_s!r}"
+        )
+    return requests, priority, dict(tags), deadline_s
 
 
 # -- outcomes and results ---------------------------------------------------
@@ -191,6 +201,10 @@ def outcome_to_wire(index: int, outcome: RunOutcome,
         wire["deduped"] = True
     if outcome.error:
         wire["error"] = outcome.error
+    if getattr(outcome, "diagnostics", None):
+        # the watchdog's hang snapshot (JSON-safe by construction) rides
+        # the event so hung runs are diagnosable from the client side
+        wire["diagnostics"] = outcome.diagnostics
     if outcome.ok and outcome.result is not None:
         wire["run"] = result_to_wire(outcome.result)
     return wire
@@ -211,6 +225,8 @@ def job_to_wire(job: "Job", runs: bool = False) -> Dict[str, Any]:
         "created": job.created,
         "tags": dict(job.tags),
     }
+    if getattr(job, "deadline_s", None):
+        wire["deadline_s"] = job.deadline_s
     if job.error:
         wire["error"] = job.error
     if runs:

@@ -213,6 +213,50 @@ class TestHTTPContract:
             conn.close()
 
 
+class TestHangDiagnostics:
+    """The watchdog's hang snapshot rides /events and /result."""
+
+    DIAG = {"cycle": 420, "no_progress_cycles": 64,
+            "warps": [{"warp": 0, "state": "parked"}]}
+
+    def test_hung_outcome_carries_diagnostics(self):
+        from repro.harness.parallel import RunOutcome
+
+        diag = self.DIAG
+
+        class HangRunner(FakeRunner):
+            def run_grid_outcomes(self, requests, jobs=None, on_outcome=None):
+                outcomes = []
+                for i, request in enumerate(requests):
+                    outcome = RunOutcome(
+                        request, RunOutcome.HUNG, attempts=2,
+                        error="watchdog: no forward progress",
+                        diagnostics=diag,
+                    )
+                    if on_outcome is not None:
+                        on_outcome(i, outcome)
+                    outcomes.append(outcome)
+                return outcomes
+
+        engine = ServiceEngine(ServiceConfig(), runner=HangRunner())
+        spec = {"benchmark": "bfs", "backend": "baseline"}
+
+        async def body(app, client):
+            job = await call(client.submit, [spec])
+            events = await call(lambda: list(client.events(job["id"])))
+            result = await call(client.result, job["id"])
+            return events, result
+
+        events, result = serve_inprocess(engine, body)
+        outcome = events[0]
+        assert outcome["status"] == "hung"
+        assert outcome["diagnostics"] == self.DIAG
+        run = result["runs"][0]
+        assert run["status"] == "hung"
+        assert run["diagnostics"] == self.DIAG
+        assert result["job"]["status"] == "failed"
+
+
 class TestSigtermDrainRestart:
     """Boot the real CLI daemon, SIGTERM it mid-grid, restart, finish."""
 

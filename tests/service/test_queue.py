@@ -361,3 +361,218 @@ class TestDrainRestart:
         assert runner.executed == []
         assert replay[-1]["status"] == Job.DONE
         assert replay[0]["run"]["stats"]["cycles"] == 100
+
+    def test_journal_persists_without_drain(self, tmp_path):
+        # The crash case: the first life never drains or persists — the
+        # write-ahead journal alone must carry every outcome across.
+        state = str(tmp_path / "state.json")
+
+        async def first_life():
+            runner = FakeRunner()
+            engine = ServiceEngine(ServiceConfig(state_path=state),
+                                   runner=runner)
+            await engine.start()
+            job = engine.submit([BFS])
+            await collect_events(engine, job.id)
+            await engine.stop()  # no drain(), no compaction
+            return job.id
+
+        async def second_life(job_id):
+            runner = FakeRunner()
+            engine = ServiceEngine(ServiceConfig(state_path=state),
+                                   runner=runner)
+            await engine.start()
+            job = engine.job(job_id)
+            await engine.stop()
+            return runner, job
+
+        job_id = run(first_life())
+        import os
+        assert os.path.exists(state + ".wal")
+        runner, job = run(second_life(job_id))
+        assert job.status == Job.DONE
+        assert runner.executed == []  # exactly-once: nothing re-ran
+        assert job.outcomes[0]["status"] == "ok"
+
+
+class TestEventSequences:
+    def test_events_carry_monotonic_seqs(self):
+        async def main():
+            engine = make_engine()
+            await engine.start()
+            job = engine.submit([BFS, NW])
+            events = await collect_events(engine, job.id)
+            await engine.stop()
+            return events
+
+        events = run(main())
+        assert [e["seq"] for e in events] == [0, 1, 2]
+        assert events[-1]["event"] == "job"
+
+    def test_subscribe_after_skips_seen_events(self):
+        async def main():
+            engine = make_engine()
+            await engine.start()
+            job = engine.submit([BFS, NW])
+            await collect_events(engine, job.id)
+            replay, queue = engine.subscribe(job.id, after=0)
+            await engine.stop()
+            return replay, queue
+
+        replay, queue = run(main())
+        assert queue is None
+        assert [e["seq"] for e in replay] == [1, 2]
+        assert replay[-1]["event"] == "job"
+
+    def test_drain_marks_live_streams(self):
+        async def main():
+            engine = make_engine()
+            # scheduler never started: the job stays queued, and drain
+            # must end the attached stream with an explicit marker
+            job = engine.submit([BFS])
+            _, queue = engine.subscribe(job.id)
+            await engine.drain()
+            marker = await queue.get()
+            sentinel = await queue.get()
+            await engine.stop()
+            return job, marker, sentinel
+
+        job, marker, sentinel = run(main())
+        assert marker == {"event": "service", "status": "draining",
+                          "job": job.id}
+        assert sentinel is None
+
+
+class TestDeadlines:
+    def test_overdue_job_degrades_to_partial_results(self):
+        class OneBatchRunner(FakeRunner):
+            def run_grid_outcomes(self, requests, jobs=None, on_outcome=None):
+                result = super().run_grid_outcomes(
+                    requests, jobs=jobs, on_outcome=on_outcome
+                )
+                self.gate.clear()  # the next batch blocks until released
+                return result
+
+        async def main():
+            runner = OneBatchRunner()
+            engine = make_engine(runner, max_batch_runs=1,
+                                 deadline_poll=3600.0)
+            await engine.start()
+            job = engine.submit([BFS, NW], deadline_s=5.0)
+            # let the first run finish; the second batch sits on the gate
+            while not job.outcomes:
+                await asyncio.sleep(0.005)
+            engine.expire_overdue(now=job.created + 10.0)
+            events = await collect_events(engine, job.id)
+            runner.gate.set()  # release the straggler batch
+            await engine.stop()
+            return engine, job, events
+
+        engine, job, events = run(main())
+        assert job.status == Job.FAILED
+        done = next(iter(job.outcomes))  # whichever run dispatched first
+        late = 1 - done
+        assert job.outcomes[done]["status"] == "ok"   # finished runs kept
+        assert job.outcomes[late]["status"] == "expired"
+        assert "deadline" in job.outcomes[late]["error"]
+        assert engine.registry.get("service.jobs.expired") == 1
+        assert engine.registry.get("service.runs.expired") == 1
+
+    def test_default_deadline_applies(self):
+        async def main():
+            engine = make_engine(default_deadline=7.0, deadline_poll=3600.0)
+            await engine.start()
+            job = engine.submit([BFS])
+            await collect_events(engine, job.id)
+            await engine.stop()
+            return job
+
+        assert run(main()).deadline_s == 7.0
+
+    def test_jobs_without_deadline_never_expire(self):
+        async def main():
+            engine = make_engine(deadline_poll=3600.0)
+            await engine.start()
+            job = engine.submit([BFS])
+            assert engine.expire_overdue(now=job.created + 1e9) == []
+            await collect_events(engine, job.id)
+            await engine.stop()
+
+        run(main())
+
+
+class TestBackpressureAndBreaker:
+    def test_queue_bound_sheds_submissions(self):
+        from repro.service import OverloadedError
+
+        async def main():
+            runner = FakeRunner()
+            runner.gate.clear()
+            engine = make_engine(runner, max_batch_runs=1,
+                                 max_queued_runs=2)
+            await engine.start()
+            engine.submit([BFS])
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, runner.dispatched.wait)
+            engine.submit([NW, HOTSPOT])  # fills the queue bound
+            with pytest.raises(OverloadedError) as err:
+                engine.submit([RunRequest.make("srad", "baseline")])
+            runner.gate.set()
+            for job_id in list(engine.jobs):
+                await collect_events(engine, job_id)
+            await engine.stop()
+            return engine, err.value
+
+        engine, err = run(main())
+        assert err.retry_after > 0
+        assert engine.registry.get("service.backpressure.shed") == 1
+
+    def test_broken_batches_open_breaker_and_recover(self):
+        from repro.service import BreakerConfig, BreakerOpen
+
+        class ExplodingRunner(FakeRunner):
+            def __init__(self):
+                super().__init__()
+                self.explosions = 0
+
+            def run_grid_outcomes(self, requests, jobs=None, on_outcome=None):
+                if self.explosions < 2:
+                    self.explosions += 1
+                    raise RuntimeError("pool burned down")
+                return super().run_grid_outcomes(
+                    requests, jobs=jobs, on_outcome=on_outcome
+                )
+
+        async def main():
+            runner = ExplodingRunner()
+            engine = make_engine(
+                runner,
+                breaker=BreakerConfig(failure_threshold=2,
+                                      reset_timeout=0.05),
+            )
+            await engine.start()
+            # each broken batch fails its job; two in a row trip the breaker
+            job_a = engine.submit([BFS])
+            await collect_events(engine, job_a.id)
+            job_b = engine.submit([NW])
+            await collect_events(engine, job_b.id)
+            assert engine.supervisor.breaker.state == "open"
+            with pytest.raises(BreakerOpen):
+                engine.submit([HOTSPOT])
+            # after the reset timeout the half-open probe dispatches and
+            # the healthy batch closes the breaker again
+            await asyncio.sleep(0.1)
+            job_c = engine.submit([HOTSPOT])
+            events = await collect_events(engine, job_c.id)
+            await engine._idle.wait()  # let the batch's health probe land
+            await engine.stop()
+            return engine, job_a, job_b, events
+
+        engine, job_a, job_b, events = run(main())
+        assert job_a.status == Job.FAILED
+        assert job_b.status == Job.FAILED
+        assert events[-1]["status"] == Job.DONE
+        assert engine.supervisor.breaker.state == "closed"
+        assert engine.registry.get("service.breaker.opened") == 1
+        assert engine.registry.get("service.breaker.rejected") == 1
+        assert engine.registry.get("service.batches.broken") == 2

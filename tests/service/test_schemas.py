@@ -58,18 +58,30 @@ class TestJobSpec:
     RUN = {"benchmark": "bfs", "backend": "baseline"}
 
     def test_parses_runs_priority_tags(self):
-        requests, priority, tags = parse_job_spec({
+        requests, priority, tags, deadline_s = parse_job_spec({
             "runs": [self.RUN], "priority": "interactive",
             "tags": {"note": "x"},
         })
         assert [r.key for r in requests] == ["bfs/baseline"]
         assert priority == "interactive"
         assert tags == {"note": "x"}
+        assert deadline_s is None
 
     def test_priority_defaults_to_batch(self):
-        _, priority, tags = parse_job_spec({"runs": [self.RUN]})
+        _, priority, tags, _ = parse_job_spec({"runs": [self.RUN]})
         assert priority == "batch"
         assert tags == {}
+
+    def test_parses_deadline(self):
+        _, _, _, deadline_s = parse_job_spec(
+            {"runs": [self.RUN], "deadline_s": 2.5}
+        )
+        assert deadline_s == 2.5
+
+    def test_rejects_bad_deadline(self):
+        for bad in (0, -1, "60", True):
+            with pytest.raises(SpecError, match="deadline_s"):
+                parse_job_spec({"runs": [self.RUN], "deadline_s": bad})
 
     def test_rejects_empty_or_missing_runs(self):
         for body in ({}, {"runs": []}, {"runs": "bfs"}, None, []):

@@ -1,0 +1,98 @@
+"""Supervisor: batch health probes and the circuit-breaker state machine."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.service.supervisor import BreakerConfig, BreakerOpen, \
+    CircuitBreaker, OverloadedError, Supervisor
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_supervisor(threshold=2, reset=10.0):
+    clock = FakeClock()
+    registry = MetricsRegistry()
+    supervisor = Supervisor(
+        BreakerConfig(failure_threshold=threshold, reset_timeout=reset),
+        metrics=registry.scope("service"),
+        clock=clock,
+    )
+    return supervisor, clock, registry
+
+
+class TestBreakerStateMachine:
+    def test_opens_after_threshold_consecutive_failures(self):
+        supervisor, _, registry = make_supervisor(threshold=3)
+        breaker = supervisor.breaker
+        supervisor.observe_batch(["crashed"], broke=False)
+        supervisor.observe_batch([], broke=True)
+        assert breaker.state == CircuitBreaker.CLOSED
+        supervisor.observe_batch(["hung", "quarantined"])
+        assert breaker.state == CircuitBreaker.OPEN
+        metrics = registry.as_dict()
+        assert metrics["service.breaker.opened"] == 1
+        assert metrics["service.breaker.batch_failures"] == 3
+
+    def test_success_resets_the_failure_count(self):
+        supervisor, _, _ = make_supervisor(threshold=2)
+        supervisor.observe_batch(["crashed"])
+        supervisor.observe_batch(["ok", "crashed"])  # mixed batch = healthy
+        supervisor.observe_batch(["crashed"])
+        assert supervisor.breaker.state == CircuitBreaker.CLOSED
+
+    def test_open_sheds_admission_with_retry_after(self):
+        supervisor, clock, registry = make_supervisor(threshold=1, reset=10.0)
+        supervisor.observe_batch([], broke=True)
+        clock.now += 4.0
+        with pytest.raises(BreakerOpen) as err:
+            supervisor.admit()
+        assert err.value.retry_after == pytest.approx(6.0)
+        assert isinstance(err.value, OverloadedError)
+        assert registry.as_dict()["service.breaker.rejected"] == 1
+        assert not supervisor.allow_dispatch()
+
+    def test_half_open_probe_closes_on_success(self):
+        supervisor, clock, registry = make_supervisor(threshold=1, reset=10.0)
+        supervisor.observe_batch([], broke=True)
+        clock.now += 10.0
+        assert supervisor.allow_dispatch()  # the probe batch
+        assert supervisor.breaker.state == CircuitBreaker.HALF_OPEN
+        supervisor.admit()  # half-open no longer sheds
+        supervisor.observe_batch(["ok"])
+        assert supervisor.breaker.state == CircuitBreaker.CLOSED
+        assert registry.as_dict()["service.breaker.closed"] == 1
+
+    def test_half_open_probe_reopens_on_failure(self):
+        supervisor, clock, _ = make_supervisor(threshold=3, reset=10.0)
+        for _ in range(3):
+            supervisor.observe_batch([], broke=True)
+        clock.now += 10.0
+        assert supervisor.allow_dispatch()
+        supervisor.observe_batch(["crashed"])  # a single bad probe reopens
+        assert supervisor.breaker.state == CircuitBreaker.OPEN
+        assert supervisor.breaker.retry_after() == pytest.approx(10.0)
+
+
+class TestBatchHealth:
+    def test_empty_batch_is_healthy(self):
+        supervisor, _, _ = make_supervisor(threshold=1)
+        supervisor.observe_batch([])
+        assert supervisor.breaker.state == CircuitBreaker.CLOSED
+
+    def test_all_broken_statuses_count_as_failure(self):
+        supervisor, _, _ = make_supervisor(threshold=1)
+        supervisor.observe_batch(["crashed", "hung", "quarantined"])
+        assert supervisor.breaker.state == CircuitBreaker.OPEN
+
+    def test_unknown_statuses_are_not_executor_damage(self):
+        # only the explicit broken set trips the breaker — a status added
+        # later (e.g. "expired") must not shed every tenant's traffic
+        supervisor, _, _ = make_supervisor(threshold=1)
+        supervisor.observe_batch(["expired", "expired"])
+        assert supervisor.breaker.state == CircuitBreaker.CLOSED
